@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/construction.hpp"
+#include "core/error_est.hpp"
+#include "h2/cheb_construction.hpp"
+#include "h2/h2_entry_eval.hpp"
+#include "h2/h2_matvec.hpp"
+#include "kernels/kernels.hpp"
+
+/// \file bench_common.hpp
+/// Shared plumbing for the figure/table harnesses: workload construction
+/// (the paper's covariance / volume-IE pipelines with a Chebyshev-built
+/// input operator playing H2Opus's role), table printing and CSV output.
+/// Every harness accepts --large to restore paper-scale problem sizes
+/// (laptop-scale axes are the default; see DESIGN.md / EXPERIMENTS.md).
+
+namespace h2sketch::bench {
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+/// Aligned table printer that mirrors rows into a CSV file.
+class Table {
+ public:
+  Table(std::string name, std::vector<std::string> columns)
+      : name_(std::move(name)), cols_(std::move(columns)) {
+    for (const auto& c : cols_) widths_.push_back(std::max<size_t>(c.size() + 2, 12));
+  }
+
+  void print_header() const {
+    std::cout << "\n== " << name_ << " ==\n";
+    for (size_t i = 0; i < cols_.size(); ++i)
+      std::cout << std::left << std::setw(static_cast<int>(widths_[i])) << cols_[i];
+    std::cout << "\n";
+    for (size_t i = 0; i < cols_.size(); ++i)
+      std::cout << std::string(widths_[i] - 1, '-') << " ";
+    std::cout << "\n";
+  }
+
+  void row(const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i)
+      std::cout << std::left << std::setw(static_cast<int>(widths_[std::min(i, widths_.size() - 1)]))
+                << cells[i];
+    std::cout << "\n" << std::flush;
+    rows_.push_back(cells);
+  }
+
+  ~Table() {
+    std::ofstream csv(name_ + ".csv");
+    for (size_t i = 0; i < cols_.size(); ++i) csv << (i ? "," : "") << cols_[i];
+    csv << "\n";
+    for (const auto& r : rows_) {
+      for (size_t i = 0; i < r.size(); ++i) csv << (i ? "," : "") << r[i];
+      csv << "\n";
+    }
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> cols_;
+  std::vector<size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+template <typename T>
+std::string fmt(T v, int prec = 3) {
+  std::ostringstream os;
+  os << std::setprecision(prec) << v;
+  return os.str();
+}
+
+inline std::string fmt_mb(std::size_t bytes) {
+  return fmt(static_cast<double>(bytes) / (1024.0 * 1024.0), 4);
+}
+
+/// The paper's §V-A pipeline for the covariance / IE experiments: cluster a
+/// uniform 3D cube, build the input operator by Chebyshev interpolation
+/// (H2Opus's role), and expose its fast matvec + entry evaluation as the
+/// black-box pair for Algorithm 1.
+struct KernelWorkload {
+  std::shared_ptr<tree::ClusterTree> tree;
+  std::unique_ptr<kern::KernelFunction> kernel;
+  h2::H2Matrix input; ///< the operator being reconstructed
+  double input_build_seconds = 0.0;
+
+  std::unique_ptr<h2::H2Sampler> sampler;
+  std::unique_ptr<h2::H2EntryGenerator> entry_gen;
+  std::unique_ptr<kern::KernelEntryGenerator> kernel_gen;
+
+  /// which = "cov" (exponential, l = 0.2) or "ie" (Helmholtz cos, k = 3).
+  KernelWorkload(const std::string& which, index_t n, index_t leaf, real_t eta, index_t cheb_q,
+                 std::uint64_t seed = 1234) {
+    tree = std::make_shared<tree::ClusterTree>(
+        tree::ClusterTree::build(geo::uniform_random_cube(n, 3, seed), leaf));
+    if (which == "ie")
+      kernel = std::make_unique<kern::HelmholtzCosKernel>(3.0);
+    else
+      kernel = std::make_unique<kern::ExponentialKernel>(0.2);
+    const double t0 = wall_seconds();
+    input = h2::build_cheb_h2(tree, tree::Admissibility::general(eta), *kernel, cheb_q);
+    input_build_seconds = wall_seconds() - t0;
+    sampler = std::make_unique<h2::H2Sampler>(input);
+    entry_gen = std::make_unique<h2::H2EntryGenerator>(input);
+    kernel_gen = std::make_unique<kern::KernelEntryGenerator>(*tree, *kernel);
+  }
+};
+
+/// Relative 2-norm error of a constructed H2 against the workload operator.
+inline real_t measure_error(const KernelWorkload& w, const h2::H2Matrix& approx, int iters = 10) {
+  h2::H2Sampler a(w.input);
+  h2::H2Sampler b(approx);
+  return core::relative_error_2norm(a, b, iters);
+}
+
+} // namespace h2sketch::bench

@@ -1,0 +1,58 @@
+/// Fig. 5(c): time vs N for recompressing an H2 covariance matrix updated
+/// with a rank-32 low-rank product — the multifrontal/Schur-update use case.
+/// The sketching operator is the fast H2 matvec plus the low-rank apply;
+/// entries come from the existing H2 representation plus low-rank rows.
+
+#include "bench_common.hpp"
+#include "h2/update_sampler.hpp"
+
+using namespace h2sketch;
+using namespace h2sketch::bench;
+
+int main(int argc, char** argv) {
+  const bool large = has_flag(argc, argv, "--large");
+  std::vector<index_t> sizes = {1024, 2048, 4096};
+  if (large) sizes = {8192, 16384, 32768, 65536};
+  const index_t leaf = large ? 64 : 16;
+  const real_t eta = 0.7;
+  const index_t cheb_q = large ? 4 : 3;
+  const index_t update_rank = 32; // the paper's rank-32 product
+
+  Table table("fig5c_update", {"N", "ours_batched_s", "ours_naive_s", "ours_samples", "ours_err",
+                               "rank_min", "rank_max", "memory_MB"});
+  table.print_header();
+
+  for (index_t n : sizes) {
+    KernelWorkload w("cov", n, leaf, eta, cheb_q);
+    // Symmetric rank-32 update U U^T (permuted space), modest scale.
+    la::LowRank lr = la::random_lowrank(n, n, update_rank, 0.05, 99 + n);
+    lr.v = to_matrix(lr.u.view());
+
+    h2::UpdatedH2Sampler sampler(w.input, lr);
+    h2::UpdatedH2EntryGenerator gen(w.input, lr);
+    core::ConstructionOptions opts;
+    opts.tol = 1e-6;
+    opts.initial_samples = 256;
+    opts.sample_block = 64;
+
+    batched::ExecutionContext ctx_b(batched::Backend::Batched);
+    auto res_b =
+        core::construct_h2(w.tree, tree::Admissibility::general(eta), sampler, gen, opts, ctx_b);
+
+    h2::UpdatedH2Sampler fresh(w.input, lr);
+    h2::H2Sampler approx(res_b.matrix);
+    const real_t err = core::relative_error_2norm(fresh, approx, 10);
+
+    h2::UpdatedH2Sampler sampler_n(w.input, lr);
+    batched::ExecutionContext ctx_n(batched::Backend::Naive);
+    auto res_n =
+        core::construct_h2(w.tree, tree::Admissibility::general(eta), sampler_n, gen, opts, ctx_n);
+
+    table.row({fmt(n), fmt(res_b.stats.total_seconds), fmt(res_n.stats.total_seconds),
+               fmt(res_b.stats.total_samples), fmt(err, 2), fmt(res_b.stats.min_rank),
+               fmt(res_b.stats.max_rank), fmt_mb(res_b.stats.memory_bytes)});
+  }
+  std::cout << "\nShape checks (paper Fig. 5c): linear time growth, flat O(1) sample count;\n"
+               "ranks slightly above the un-updated covariance case.\n";
+  return 0;
+}

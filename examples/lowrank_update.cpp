@@ -1,0 +1,52 @@
+/// Low-rank update recompression: the paper's third application (Fig. 5c).
+/// An existing H2 covariance matrix is updated with a rank-32 symmetric
+/// product — the shape of a Schur-complement update in multifrontal or
+/// H2-LU arithmetic — and recompressed into a fresh H2 matrix whose sampler
+/// is the old matvec plus the low-rank apply.
+
+#include <iostream>
+
+#include "core/construction.hpp"
+#include "core/error_est.hpp"
+#include "h2/cheb_construction.hpp"
+#include "h2/update_sampler.hpp"
+#include "kernels/kernels.hpp"
+
+using namespace h2sketch;
+
+int main() {
+  const index_t n = 4096;
+  const index_t update_rank = 32;
+  auto tr = std::make_shared<tree::ClusterTree>(
+      tree::ClusterTree::build(geo::uniform_random_cube(n, 3, 21), 16));
+  kern::ExponentialKernel kernel(0.2);
+  const auto adm = tree::Admissibility::general(0.7);
+
+  // The existing compressed operator.
+  const h2::H2Matrix base = h2::build_cheb_h2(tr, adm, kernel, /*q=*/3);
+
+  // A symmetric rank-32 update U U^T in the tree's permuted index space.
+  la::LowRank lr = la::random_lowrank(n, n, update_rank, 0.05, 77);
+  lr.v = to_matrix(lr.u.view());
+
+  // Recompress K' = K + U U^T.
+  h2::UpdatedH2Sampler sampler(base, lr);
+  h2::UpdatedH2EntryGenerator entry_gen(base, lr);
+  core::ConstructionOptions opts;
+  opts.tol = 1e-6;
+  opts.initial_samples = 128;
+  opts.sample_block = 32;
+  auto res = core::construct_h2(tr, adm, sampler, entry_gen, opts);
+
+  h2::UpdatedH2Sampler exact(base, lr);
+  h2::H2Sampler approx(res.matrix);
+  const real_t err = core::relative_error_2norm(exact, approx, 10);
+
+  std::cout << "base ranks: uniform " << base.max_rank() << " (Chebyshev)\n"
+            << "recompressed ranks: [" << res.stats.min_rank << ", " << res.stats.max_rank
+            << "] after adding a rank-" << update_rank << " product\n"
+            << "samples: " << res.stats.total_samples << ", time " << res.stats.total_seconds
+            << " s\n"
+            << "relative 2-norm error of the recompression: " << err << "\n";
+  return err < 1e-4 ? 0 : 1;
+}

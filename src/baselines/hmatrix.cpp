@@ -1,0 +1,89 @@
+#include "baselines/hmatrix.hpp"
+
+#include "la/blas.hpp"
+
+namespace h2sketch::baselines {
+
+void HMatrix::init_structure() {
+  H2S_CHECK(tree != nullptr, "HMatrix: tree not set");
+  far_lr.assign(static_cast<size_t>(mtree.num_levels), {});
+  for (index_t l = 0; l < mtree.num_levels; ++l)
+    far_lr[static_cast<size_t>(l)].assign(
+        static_cast<size_t>(mtree.far[static_cast<size_t>(l)].count()), la::LowRank{});
+  dense.assign(static_cast<size_t>(mtree.near_leaf.count()), Matrix());
+}
+
+void HMatrix::matvec(ConstMatrixView x, MatrixView y) const {
+  const tree::ClusterTree& t = *tree;
+  H2S_CHECK(x.rows == t.num_points() && y.rows == x.rows && y.cols == x.cols,
+            "HMatrix::matvec shape mismatch");
+  set_all(y, 0.0);
+  for (index_t l = 0; l < mtree.num_levels; ++l) {
+    const auto& far = mtree.far[static_cast<size_t>(l)];
+    for (index_t s = 0; s < t.nodes_at(l); ++s)
+      for (index_t j = 0; j < far.row_count(s); ++j) {
+        const index_t e = far.row_ptr[static_cast<size_t>(s)] + j;
+        const index_t c = far.col_at(s, j);
+        const la::LowRank& lr = far_lr[static_cast<size_t>(l)][static_cast<size_t>(e)];
+        if (lr.rank() == 0) continue;
+        lr.apply(1.0, x.row_range(t.begin(l, c), t.size(l, c)),
+                 y.row_range(t.begin(l, s), t.size(l, s)));
+      }
+  }
+  const index_t leaf = t.leaf_level();
+  const auto& near = mtree.near_leaf;
+  for (index_t s = 0; s < t.nodes_at(leaf); ++s)
+    for (index_t j = 0; j < near.row_count(s); ++j) {
+      const index_t e = near.row_ptr[static_cast<size_t>(s)] + j;
+      const index_t c = near.col_at(s, j);
+      la::gemm(1.0, dense[static_cast<size_t>(e)].view(), la::Op::None,
+               x.row_range(t.begin(leaf, c), t.size(leaf, c)), la::Op::None, 1.0,
+               y.row_range(t.begin(leaf, s), t.size(leaf, s)));
+    }
+}
+
+Matrix HMatrix::densify() const {
+  const tree::ClusterTree& t = *tree;
+  const index_t n = t.num_points();
+  Matrix k(n, n);
+  for (index_t l = 0; l < mtree.num_levels; ++l) {
+    const auto& far = mtree.far[static_cast<size_t>(l)];
+    for (index_t s = 0; s < t.nodes_at(l); ++s)
+      for (index_t j = 0; j < far.row_count(s); ++j) {
+        const index_t e = far.row_ptr[static_cast<size_t>(s)] + j;
+        const index_t c = far.col_at(s, j);
+        const la::LowRank& lr = far_lr[static_cast<size_t>(l)][static_cast<size_t>(e)];
+        if (lr.rank() == 0) continue;
+        la::gemm(1.0, lr.u.view(), la::Op::None, lr.v.view(), la::Op::Trans, 1.0,
+                 k.view().block(t.begin(l, s), t.begin(l, c), t.size(l, s), t.size(l, c)));
+      }
+  }
+  const index_t leaf = t.leaf_level();
+  const auto& near = mtree.near_leaf;
+  for (index_t s = 0; s < t.nodes_at(leaf); ++s)
+    for (index_t j = 0; j < near.row_count(s); ++j) {
+      const index_t e = near.row_ptr[static_cast<size_t>(s)] + j;
+      const index_t c = near.col_at(s, j);
+      copy(dense[static_cast<size_t>(e)].view(),
+           k.view().block(t.begin(leaf, s), t.begin(leaf, c), t.size(leaf, s), t.size(leaf, c)));
+    }
+  return k;
+}
+
+std::size_t HMatrix::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& lvl : far_lr)
+    for (const auto& lr : lvl)
+      bytes += static_cast<std::size_t>(lr.u.size() + lr.v.size()) * sizeof(real_t);
+  for (const auto& d : dense) bytes += static_cast<std::size_t>(d.size()) * sizeof(real_t);
+  return bytes;
+}
+
+index_t HMatrix::max_rank() const {
+  index_t mx = 0;
+  for (const auto& lvl : far_lr)
+    for (const auto& lr : lvl) mx = std::max(mx, lr.rank());
+  return mx;
+}
+
+} // namespace h2sketch::baselines

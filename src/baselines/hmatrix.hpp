@@ -1,0 +1,45 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "la/lowrank.hpp"
+#include "tree/matrix_tree.hpp"
+
+/// \file hmatrix.hpp
+/// Non-nested H-matrix: every admissible block carries its own U V^T factors
+/// (O(N log N) storage instead of H2's O(N)). This is the output format of
+/// the top-down sketching baselines (the H2Opus-peeling and ButterflyPACK-H
+/// stand-ins) and the HODLR line of Fig. 6(b).
+
+namespace h2sketch::baselines {
+
+class HMatrix {
+ public:
+  std::shared_ptr<const tree::ClusterTree> tree;
+  tree::MatrixTree mtree;
+
+  /// far_lr[l][e]: low-rank factors of the e-th CSR far entry at level l.
+  std::vector<std::vector<la::LowRank>> far_lr;
+  /// dense[e]: e-th near-leaf block.
+  std::vector<Matrix> dense;
+
+  index_t size() const { return tree ? tree->num_points() : 0; }
+
+  /// Allocate empty containers matching the trees.
+  void init_structure();
+
+  /// y = A x (permuted space), multi-column.
+  void matvec(ConstMatrixView x, MatrixView y) const;
+
+  /// Dense representation (small N, tests).
+  Matrix densify() const;
+
+  /// Bytes in U/V factors and dense blocks.
+  std::size_t memory_bytes() const;
+
+  /// Largest block rank.
+  index_t max_rank() const;
+};
+
+} // namespace h2sketch::baselines

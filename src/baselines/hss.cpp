@@ -1,0 +1,12 @@
+#include "baselines/hss.hpp"
+
+namespace h2sketch::baselines {
+
+core::ConstructionResult construct_hss(std::shared_ptr<const tree::ClusterTree> tree,
+                                       kern::MatVecSampler& sampler,
+                                       const kern::EntryGenerator& gen,
+                                       const core::ConstructionOptions& opts) {
+  return core::construct_h2(std::move(tree), tree::Admissibility::weak(), sampler, gen, opts);
+}
+
+} // namespace h2sketch::baselines

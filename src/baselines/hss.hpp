@@ -1,0 +1,21 @@
+#pragma once
+
+#include "core/construction.hpp"
+
+/// \file hss.hpp
+/// Bottom-up sketching HSS construction (Martinsson 2011, [29]) — exactly
+/// Algorithm 1 restricted to weak admissibility, which is how the paper
+/// positions its contribution ("the extension of the sketching-based
+/// construction algorithm for the HSS matrix [29] to strongly-admissible H2
+/// matrices"). Serves as the STRUMPACK-HSS line of Fig. 6(b).
+
+namespace h2sketch::baselines {
+
+/// construct_h2 under weak admissibility: every off-diagonal sibling pair is
+/// low-rank, with nested (HSS) bases.
+core::ConstructionResult construct_hss(std::shared_ptr<const tree::ClusterTree> tree,
+                                       kern::MatVecSampler& sampler,
+                                       const kern::EntryGenerator& gen,
+                                       const core::ConstructionOptions& opts);
+
+} // namespace h2sketch::baselines

@@ -1,0 +1,10 @@
+#include "baselines/peeling_hodlr.hpp"
+
+namespace h2sketch::baselines {
+
+TopDownResult build_peeling_hodlr(std::shared_ptr<const tree::ClusterTree> tree,
+                                  kern::MatVecSampler& sampler, const TopDownOptions& opts) {
+  return build_topdown_hmatrix(std::move(tree), tree::Admissibility::weak(), sampler, opts);
+}
+
+} // namespace h2sketch::baselines

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "baselines/topdown.hpp"
+
+/// \file peeling_hodlr.hpp
+/// Top-down sketching through a weak-admissibility (HODLR) partitioning —
+/// the H2Opus-comparator stand-in. The paper (§V-B) observes that H2Opus's
+/// top-down construction "requires a temporary weak-admissible
+/// representation (HODLR), hence requires much more [sic] number of random
+/// vectors (up to 18920) for 3D problems, causing the code to memory crash
+/// for larger problems". This builder exhibits exactly that mechanism: for
+/// 3D kernels the HODLR off-diagonal ranks grow with N, so the adaptive
+/// sample count grows with N and eventually hits the rank cap (our analogue
+/// of the OOM).
+
+namespace h2sketch::baselines {
+
+/// build_topdown_hmatrix under weak admissibility.
+TopDownResult build_peeling_hodlr(std::shared_ptr<const tree::ClusterTree> tree,
+                                  kern::MatVecSampler& sampler, const TopDownOptions& opts);
+
+} // namespace h2sketch::baselines

@@ -1,0 +1,303 @@
+#include "baselines/topdown.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/random.hpp"
+#include "common/timer.hpp"
+#include "la/blas.hpp"
+#include "la/qr.hpp"
+#include "la/svd.hpp"
+
+namespace h2sketch::baselines {
+
+namespace {
+
+/// y -= contributions of every compressed far block at levels < upto.
+void subtract_compressed(const HMatrix& h, index_t upto, ConstMatrixView omega, MatrixView y) {
+  const tree::ClusterTree& t = *h.tree;
+  for (index_t l = 0; l < upto; ++l) {
+    const auto& far = h.mtree.far[static_cast<size_t>(l)];
+    for (index_t s = 0; s < t.nodes_at(l); ++s)
+      for (index_t j = 0; j < far.row_count(s); ++j) {
+        const index_t e = far.row_ptr[static_cast<size_t>(s)] + j;
+        const index_t c = far.col_at(s, j);
+        const la::LowRank& lr = h.far_lr[static_cast<size_t>(l)][static_cast<size_t>(e)];
+        if (lr.rank() == 0) continue;
+        lr.apply(-1.0, omega.row_range(t.begin(l, c), t.size(l, c)),
+                 y.row_range(t.begin(l, s), t.size(l, s)));
+      }
+  }
+}
+
+/// Greedy conflict coloring of the columns appearing in `targets` (the far
+/// list at one level): two columns conflict when some block row would see
+/// both (either as far targets or as polluting near columns). Returns -1
+/// for nodes that are not columns of any target.
+std::vector<index_t> color_columns(const tree::LevelBlockList& far,
+                                   const tree::LevelBlockList& near, index_t nodes) {
+  std::vector<std::set<index_t>> adj(static_cast<size_t>(nodes));
+  std::vector<bool> is_col(static_cast<size_t>(nodes), false);
+  for (index_t s = 0; s < nodes; ++s) {
+    // Members a block row s can see: its far targets and its near columns.
+    std::vector<index_t> members;
+    for (index_t j = 0; j < far.row_count(s); ++j) members.push_back(far.col_at(s, j));
+    const index_t nf = static_cast<index_t>(members.size());
+    for (index_t j = 0; j < near.row_count(s); ++j) members.push_back(near.col_at(s, j));
+    for (index_t a = 0; a < nf; ++a) {
+      is_col[static_cast<size_t>(members[static_cast<size_t>(a)])] = true;
+      for (size_t b = 0; b < members.size(); ++b) {
+        if (members[static_cast<size_t>(a)] == members[b]) continue;
+        adj[static_cast<size_t>(members[static_cast<size_t>(a)])].insert(members[b]);
+        adj[static_cast<size_t>(members[b])].insert(members[static_cast<size_t>(a)]);
+      }
+    }
+  }
+  std::vector<index_t> order;
+  for (index_t u = 0; u < nodes; ++u)
+    if (is_col[static_cast<size_t>(u)]) order.push_back(u);
+  std::sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return adj[static_cast<size_t>(a)].size() > adj[static_cast<size_t>(b)].size();
+  });
+  std::vector<index_t> color(static_cast<size_t>(nodes), -1);
+  for (index_t u : order) {
+    std::set<index_t> used;
+    for (index_t v : adj[static_cast<size_t>(u)])
+      if (color[static_cast<size_t>(v)] >= 0) used.insert(color[static_cast<size_t>(v)]);
+    index_t c = 0;
+    while (used.count(c)) ++c;
+    color[static_cast<size_t>(u)] = c;
+  }
+  return color;
+}
+
+/// M = A * pinv(C) via SVD of C (small dimensions).
+Matrix right_solve_pinv(ConstMatrixView a, ConstMatrixView c) {
+  const la::Svd s = la::jacobi_svd(c);
+  const index_t r = la::svd_rank(s, 1e-12);
+  // pinv(C) = V_r diag(1/sigma) U_r^T; M = A pinv(C) = (A V_r) diag(1/s) U_r^T.
+  Matrix av(a.rows, r);
+  la::gemm(1.0, a, la::Op::None, s.v.view().col_range(0, r), la::Op::None, 0.0, av.view());
+  for (index_t j = 0; j < r; ++j)
+    for (index_t i = 0; i < a.rows; ++i) av(i, j) /= s.sigma[static_cast<size_t>(j)];
+  Matrix m(a.rows, c.rows);
+  la::gemm(1.0, av.view(), la::Op::None, s.u.view().col_range(0, r), la::Op::Trans, 0.0, m.view());
+  return m;
+}
+
+struct EntrySketch {
+  Matrix q;  ///< orthonormal row basis of the block (m x k)
+  Matrix a;  ///< Q^T Y_st (k x d of its color)
+  index_t color = -1;
+};
+
+} // namespace
+
+TopDownResult build_topdown_hmatrix(std::shared_ptr<const tree::ClusterTree> tree,
+                                    const tree::Admissibility& adm, kern::MatVecSampler& sampler,
+                                    const TopDownOptions& opts) {
+  const double t0 = wall_seconds();
+  TopDownResult out;
+  HMatrix& h = out.matrix;
+  h.tree = tree;
+  h.mtree = tree::MatrixTree::build(*tree, adm);
+  h.init_structure();
+  TopDownStats& st = out.stats;
+  st.levels = tree->num_levels();
+  st.samples_per_level.assign(static_cast<size_t>(st.levels), 0);
+
+  const tree::ClusterTree& t = *tree;
+  const index_t n = t.num_points();
+  const index_t leaf = t.leaf_level();
+  GaussianStream stream(opts.seed);
+  std::uint64_t rand_idx = 0;
+  auto gauss = [&]() {
+    return stream(rand_idx++);
+  };
+
+  // Norm estimate from one dedicated global round.
+  real_t norm_est = 0.0;
+  {
+    const index_t d0 = opts.sample_block;
+    Matrix omega(n, d0), y(n, d0);
+    for (index_t j = 0; j < d0; ++j)
+      for (index_t i = 0; i < n; ++i) omega(i, j) = gauss();
+    sampler.sample(omega.view(), y.view());
+    st.total_samples += d0;
+    norm_est = la::norm_f(y.view()) / std::sqrt(static_cast<real_t>(d0));
+  }
+  const real_t eps_abs = opts.tol * norm_est;
+
+  // ---- far levels, top-down ----
+  for (index_t l = 1; l <= leaf; ++l) {
+    const auto ul = static_cast<size_t>(l);
+    const auto& far = h.mtree.far[ul];
+    if (far.empty()) continue;
+    const index_t nodes = t.nodes_at(l);
+    const std::vector<index_t> color =
+        color_columns(far, h.mtree.near[ul], nodes);
+    const index_t ncolors =
+        1 + *std::max_element(color.begin(), color.end());
+    st.max_colors = std::max(st.max_colors, ncolors);
+
+    // Per directed entry: sketch state. Per color: the Gaussians used.
+    std::vector<EntrySketch> entries(static_cast<size_t>(far.count()));
+    std::vector<std::vector<Matrix>> g_per_color(static_cast<size_t>(ncolors));
+    for (auto& g : g_per_color) g.resize(static_cast<size_t>(nodes));
+
+    for (index_t c = 0; c < ncolors; ++c) {
+      std::vector<index_t> active;
+      for (index_t u = 0; u < nodes; ++u)
+        if (color[static_cast<size_t>(u)] == c) active.push_back(u);
+
+      Matrix yacc(n, 0);
+      index_t d = 0;
+      bool converged = false;
+      while (!converged) {
+        const index_t dn = opts.sample_block;
+        Matrix omega(n, dn), ynew(n, dn);
+        for (index_t u : active) {
+          Matrix& g = g_per_color[static_cast<size_t>(c)][static_cast<size_t>(u)];
+          const index_t gc0 = g.cols();
+          // Extend this column cluster's Gaussian block.
+          Matrix bigger(t.size(l, u), gc0 + dn);
+          if (gc0 > 0) copy(g.view(), bigger.view().col_range(0, gc0));
+          for (index_t j = 0; j < dn; ++j)
+            for (index_t i = 0; i < t.size(l, u); ++i) bigger(i, gc0 + j) = gauss();
+          g = std::move(bigger);
+          copy(g.view().col_range(gc0, dn),
+               omega.view().block(t.begin(l, u), 0, t.size(l, u), dn));
+        }
+        sampler.sample(omega.view(), ynew.view());
+        st.total_samples += dn;
+        st.samples_per_level[ul] += dn;
+        subtract_compressed(h, l, omega.view(), ynew.view());
+        Matrix grown(n, d + dn);
+        if (d > 0) copy(yacc.view(), grown.view().col_range(0, d));
+        copy(ynew.view(), grown.view().col_range(d, dn));
+        yacc = std::move(grown);
+        d += dn;
+
+        converged = true;
+        for (index_t s = 0; s < nodes && converged; ++s) {
+          for (index_t j = 0; j < far.row_count(s) && converged; ++j) {
+            const index_t u = far.col_at(s, j);
+            if (color[static_cast<size_t>(u)] != c) continue;
+            const index_t m = t.size(l, s);
+            if (d >= std::min(m, t.size(l, u))) continue;
+            if (d >= opts.max_block_rank) {
+              st.rank_cap_hit = true;
+              continue;
+            }
+            if (la::min_abs_r_diag(yacc.view().row_range(t.begin(l, s), m)) >= eps_abs)
+              converged = false;
+          }
+        }
+      }
+
+      // Row bases + projected sketches for this color's entries.
+      for (index_t s = 0; s < nodes; ++s) {
+        for (index_t j = 0; j < far.row_count(s); ++j) {
+          const index_t u = far.col_at(s, j);
+          if (color[static_cast<size_t>(u)] != c) continue;
+          const index_t e = far.row_ptr[static_cast<size_t>(s)] + j;
+          const index_t m = t.size(l, s);
+          Matrix ys = to_matrix(yacc.view().row_range(t.begin(l, s), m));
+          Matrix work = to_matrix(ys.view());
+          std::vector<real_t> tau;
+          const la::Cpqr f = la::cpqr(work.view(), tau, eps_abs, opts.max_block_rank);
+          EntrySketch& es = entries[static_cast<size_t>(e)];
+          es.color = c;
+          es.q = la::form_q(work.view(), tau, f.rank);
+          es.a.resize(f.rank, d);
+          la::gemm(1.0, es.q.view(), la::Op::Trans, ys.view(), la::Op::None, 0.0, es.a.view());
+        }
+      }
+    }
+
+    // Cores: K_st ~ Q_st M Q_ts^T with M = A_st pinv(Q_ts^T G_t).
+    for (index_t s = 0; s < nodes; ++s) {
+      for (index_t j = 0; j < far.row_count(s); ++j) {
+        const index_t u = far.col_at(s, j);
+        const index_t e = far.row_ptr[static_cast<size_t>(s)] + j;
+        // Mirror entry (u, s).
+        index_t em = -1;
+        for (index_t jm = 0; jm < far.row_count(u); ++jm)
+          if (far.col_at(u, jm) == s) em = far.row_ptr[static_cast<size_t>(u)] + jm;
+        H2S_CHECK(em >= 0, "topdown: mirror far entry missing (asymmetric partition?)");
+        const EntrySketch& es = entries[static_cast<size_t>(e)];
+        const EntrySketch& em_s = entries[static_cast<size_t>(em)];
+        la::LowRank& lr = h.far_lr[ul][static_cast<size_t>(e)];
+        if (es.q.cols() == 0 || em_s.q.cols() == 0) {
+          lr.u.resize(t.size(l, s), 0);
+          lr.v.resize(t.size(l, u), 0);
+          continue;
+        }
+        // C = Q_ts^T G_t where G_t are the Gaussians of *this* entry's color.
+        const Matrix& g = g_per_color[static_cast<size_t>(es.color)][static_cast<size_t>(u)];
+        Matrix cmat(em_s.q.cols(), g.cols());
+        la::gemm(1.0, em_s.q.view(), la::Op::Trans, g.view(), la::Op::None, 0.0, cmat.view());
+        const Matrix m = right_solve_pinv(es.a.view(), cmat.view());
+        lr.u.resize(t.size(l, s), em_s.q.cols());
+        la::gemm(1.0, es.q.view(), la::Op::None, m.view(), la::Op::None, 0.0, lr.u.view());
+        lr.v = to_matrix(em_s.q.view());
+      }
+    }
+  }
+
+  // ---- dense leaf blocks via colored identity probes ----
+  {
+    const auto& near = h.mtree.near_leaf;
+    const index_t nodes = t.nodes_at(leaf);
+    // Conflict graph: two near columns of the same row conflict.
+    std::vector<std::set<index_t>> adj(static_cast<size_t>(nodes));
+    for (index_t s = 0; s < nodes; ++s)
+      for (index_t a = 0; a < near.row_count(s); ++a)
+        for (index_t b = 0; b < near.row_count(s); ++b)
+          if (a != b)
+            adj[static_cast<size_t>(near.col_at(s, a))].insert(near.col_at(s, b));
+    std::vector<index_t> color(static_cast<size_t>(nodes), -1);
+    index_t ncolors = 0;
+    for (index_t u = 0; u < nodes; ++u) {
+      std::set<index_t> used;
+      for (index_t v : adj[static_cast<size_t>(u)])
+        if (color[static_cast<size_t>(v)] >= 0) used.insert(color[static_cast<size_t>(v)]);
+      index_t c = 0;
+      while (used.count(c)) ++c;
+      color[static_cast<size_t>(u)] = c;
+      ncolors = std::max(ncolors, c + 1);
+    }
+    st.max_colors = std::max(st.max_colors, ncolors);
+
+    for (index_t c = 0; c < ncolors; ++c) {
+      index_t width = 0;
+      for (index_t u = 0; u < nodes; ++u)
+        if (color[static_cast<size_t>(u)] == c) width = std::max(width, t.size(leaf, u));
+      if (width == 0) continue;
+      Matrix omega(n, width), y(n, width);
+      for (index_t u = 0; u < nodes; ++u)
+        if (color[static_cast<size_t>(u)] == c)
+          for (index_t i = 0; i < t.size(leaf, u); ++i) omega(t.begin(leaf, u) + i, i) = 1.0;
+      sampler.sample(omega.view(), y.view());
+      st.total_samples += width;
+      subtract_compressed(h, t.num_levels(), omega.view(), y.view());
+      for (index_t s = 0; s < nodes; ++s)
+        for (index_t j = 0; j < near.row_count(s); ++j) {
+          const index_t u = near.col_at(s, j);
+          if (color[static_cast<size_t>(u)] != c) continue;
+          const index_t e = near.row_ptr[static_cast<size_t>(s)] + j;
+          h.dense[static_cast<size_t>(e)] =
+              to_matrix(y.view().block(t.begin(leaf, s), 0, t.size(leaf, s), t.size(leaf, u)));
+        }
+    }
+  }
+
+  st.seconds = wall_seconds() - t0;
+  st.memory_bytes = h.memory_bytes();
+  st.max_rank = h.max_rank();
+  return out;
+}
+
+} // namespace h2sketch::baselines

@@ -1,0 +1,28 @@
+#include "batched/batched_gemm.hpp"
+
+namespace h2sketch::batched {
+
+void batched_gemm(ExecutionContext& ctx, real_t alpha, std::span<const ConstMatrixView> a,
+                  la::Op op_a, std::span<const ConstMatrixView> b, la::Op op_b, real_t beta,
+                  std::span<const MatrixView> c) {
+  H2S_CHECK(a.size() == b.size() && a.size() == c.size(), "batched_gemm: batch size mismatch");
+  ctx.run_batch(static_cast<index_t>(a.size()), [&](index_t i) {
+    const auto ui = static_cast<size_t>(i);
+    if (c[ui].empty()) return;
+    la::gemm(alpha, a[ui], op_a, b[ui], op_b, beta, c[ui]);
+  });
+}
+
+void batched_gather_rows(ExecutionContext& ctx, std::span<const ConstMatrixView> src,
+                         const std::vector<std::vector<index_t>>& rows,
+                         std::span<const MatrixView> dst) {
+  H2S_CHECK(src.size() == rows.size() && src.size() == dst.size(),
+            "batched_gather_rows: batch size mismatch");
+  ctx.run_batch(static_cast<index_t>(src.size()), [&](index_t i) {
+    const auto ui = static_cast<size_t>(i);
+    if (dst[ui].empty()) return;
+    gather_rows(src[ui], rows[ui], dst[ui]);
+  });
+}
+
+} // namespace h2sketch::batched

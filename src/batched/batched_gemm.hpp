@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "batched/device.hpp"
+#include "la/blas.hpp"
+
+/// \file batched_gemm.hpp
+/// Non-uniform batched matrix-matrix products: the MAGMA vbatched gemm
+/// stand-in. Every entry may have different dimensions; empty entries are
+/// skipped. One kernel launch in Batched mode.
+
+namespace h2sketch::batched {
+
+/// C[i] = alpha * op(A[i]) * op(B[i]) + beta * C[i] for each batch entry.
+void batched_gemm(ExecutionContext& ctx, real_t alpha, std::span<const ConstMatrixView> a,
+                  la::Op op_a, std::span<const ConstMatrixView> b, la::Op op_b, real_t beta,
+                  std::span<const MatrixView> c);
+
+/// Gather rows per entry: dst[i] = src[i](rows[i], :) — the paper's
+/// batchedShrink, which restricts samples to the skeleton rows selected by
+/// the ID when sweeping to the next level.
+void batched_gather_rows(ExecutionContext& ctx, std::span<const ConstMatrixView> src,
+                         const std::vector<std::vector<index_t>>& rows,
+                         std::span<const MatrixView> dst);
+
+} // namespace h2sketch::batched

@@ -1,0 +1,14 @@
+#include "batched/batched_id.hpp"
+
+namespace h2sketch::batched {
+
+void batched_row_id(ExecutionContext& ctx, std::span<const ConstMatrixView> y, real_t abs_tol,
+                    index_t max_rank, std::span<la::RowID> out) {
+  H2S_CHECK(y.size() == out.size(), "batched_row_id: batch size mismatch");
+  ctx.run_batch(static_cast<index_t>(y.size()), [&](index_t i) {
+    const auto ui = static_cast<size_t>(i);
+    out[ui] = la::row_id(y[ui], abs_tol, max_rank);
+  });
+}
+
+} // namespace h2sketch::batched

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "batched/device.hpp"
+#include "la/id.hpp"
+
+/// \file batched_id.hpp
+/// Batched row interpolative decompositions (paper's batchedID). The GPU
+/// implementation transposes each sample block and runs a batched column-
+/// pivoted QR; here each batch entry runs the same transpose + CPQR path
+/// inside one launch.
+
+namespace h2sketch::batched {
+
+/// out[i] = row ID of y[i] at absolute tolerance abs_tol (optionally rank
+/// capped). One launch for the whole level.
+void batched_row_id(ExecutionContext& ctx, std::span<const ConstMatrixView> y, real_t abs_tol,
+                    index_t max_rank, std::span<la::RowID> out);
+
+} // namespace h2sketch::batched

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <span>
+
+#include "batched/device.hpp"
+#include "la/qr.hpp"
+
+/// \file batched_qr.hpp
+/// Batched QR probes (the KBLAS batched-QR stand-in). The adaptive
+/// construction only needs the smallest |diag(R)| per node to decide
+/// convergence (paper §III-B), so that is what the batch computes.
+
+namespace h2sketch::batched {
+
+/// out[i] = min |diag(R)| of the unpivoted QR of a[i]. One launch.
+void batched_min_r_diag(ExecutionContext& ctx, std::span<const ConstMatrixView> a,
+                        std::span<real_t> out);
+
+} // namespace h2sketch::batched

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <span>
+
+#include "batched/device.hpp"
+#include "common/random.hpp"
+
+/// \file batched_rand.hpp
+/// Batched Gaussian generation (paper's batchedRand): the random matrices Ω
+/// are produced in a single kernel launch from a counter-based generator, so
+/// results are independent of the parallelization and identical across
+/// backends.
+
+namespace h2sketch::batched {
+
+/// Fill one (possibly large) matrix from the stream starting at `offset`;
+/// a single launch regardless of size.
+void batched_fill_gaussian(ExecutionContext& ctx, MatrixView a, const GaussianStream& stream,
+                           std::uint64_t offset);
+
+/// Fill each block from the stream at its own offset; one launch total.
+void batched_fill_gaussian(ExecutionContext& ctx, std::span<const MatrixView> blocks,
+                           const GaussianStream& stream, std::span<const std::uint64_t> offsets);
+
+} // namespace h2sketch::batched

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <span>
+
+#include "batched/device.hpp"
+#include "common/matrix.hpp"
+
+/// \file batched_transpose.hpp
+/// Batched transposes. The GPU path transposes sample blocks before the
+/// column-pivoted QR for coalesced memory access (paper §IV-A); the same
+/// routine implements the untranspose in batchedShrink.
+
+namespace h2sketch::batched {
+
+/// out[i] = in[i]^T for each entry (out[i] must be cols x rows). One launch.
+void batched_transpose(ExecutionContext& ctx, std::span<const ConstMatrixView> in,
+                       std::span<const MatrixView> out);
+
+} // namespace h2sketch::batched

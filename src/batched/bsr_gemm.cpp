@@ -1,0 +1,34 @@
+#include "batched/bsr_gemm.hpp"
+
+namespace h2sketch::batched {
+
+index_t bsr_gemm(ExecutionContext& ctx, real_t alpha, const_index_span row_ptr,
+                 const_index_span col, std::span<const ConstMatrixView> blocks,
+                 std::span<const ConstMatrixView> x, std::span<const MatrixView> y) {
+  H2S_CHECK(!row_ptr.empty(), "bsr_gemm: row_ptr must have at least one entry");
+  const index_t rows = static_cast<index_t>(row_ptr.size()) - 1;
+  H2S_CHECK(static_cast<index_t>(y.size()) == rows, "bsr_gemm: output count mismatch");
+  H2S_CHECK(col.size() == blocks.size(), "bsr_gemm: block count mismatch");
+
+  index_t max_per_row = 0;
+  for (index_t r = 0; r < rows; ++r)
+    max_per_row =
+        std::max(max_per_row, row_ptr[static_cast<size_t>(r + 1)] - row_ptr[static_cast<size_t>(r)]);
+
+  // Sub-launch k: the k-th block of each row (rows with fewer blocks skip).
+  // Each y[r] is touched by exactly one batch entry per sub-launch.
+  for (index_t k = 0; k < max_per_row; ++k) {
+    ctx.run_batch(rows, [&](index_t r) {
+      const index_t base = row_ptr[static_cast<size_t>(r)];
+      if (base + k >= row_ptr[static_cast<size_t>(r + 1)]) return;
+      const auto e = static_cast<size_t>(base + k);
+      const index_t c = col[e];
+      if (y[static_cast<size_t>(r)].empty() || blocks[e].empty()) return;
+      la::gemm(alpha, blocks[e], la::Op::None, x[static_cast<size_t>(c)], la::Op::None, 1.0,
+               y[static_cast<size_t>(r)]);
+    });
+  }
+  return max_per_row;
+}
+
+} // namespace h2sketch::batched

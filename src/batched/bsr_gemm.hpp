@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+
+#include "batched/device.hpp"
+#include "la/blas.hpp"
+
+/// \file bsr_gemm.hpp
+/// Non-uniform batched block-sparse-row matrix multiplication — the paper's
+/// batchedBSRGemm (§IV-A). Given a CSR block pattern over the nodes of a
+/// level, computes
+///     y[r] += alpha * sum_j  blocks[ptr(r)+j] * x[col(ptr(r)+j)]
+/// by splitting the work into at most Csp sub-launches: sub-launch k handles
+/// the k-th block of every row, so each output row is written by at most one
+/// batch entry per launch — no atomics needed. Since Csp is a constant, the
+/// total launch count per level is O(Csp).
+
+namespace h2sketch::batched {
+
+/// BSR product accumulating into y (see file comment). `row_ptr` has one
+/// entry per row plus one; `blocks` holds one view per CSR entry; `x` one
+/// view per column node; `y` one view per row node. Returns the number of
+/// sub-launches used (== max blocks per row).
+index_t bsr_gemm(ExecutionContext& ctx, real_t alpha, const_index_span row_ptr,
+                 const_index_span col, std::span<const ConstMatrixView> blocks,
+                 std::span<const ConstMatrixView> x, std::span<const MatrixView> y);
+
+} // namespace h2sketch::batched

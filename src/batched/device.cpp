@@ -1,0 +1,6 @@
+#include "batched/device.hpp"
+
+// ExecutionContext is header-only; this anchors the object file.
+namespace h2sketch::batched::detail {
+void device_anchor() {}
+} // namespace h2sketch::batched::detail

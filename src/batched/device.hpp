@@ -1,0 +1,73 @@
+#pragma once
+
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "common/workspace.hpp"
+
+/// \file device.hpp
+/// The execution model underlying the paper's GPU implementation (§IV-A):
+/// operations are split into a *marshaling* phase (gather views/dimensions
+/// from the level-flattened trees) and a *batched execution* phase in which
+/// a single kernel launch processes every node of a level.
+///
+/// Two backends share all call sites:
+///  * Batched — one launch per batch (the GPU-shaped path). The batch body
+///    runs as an OpenMP loop, exactly the paper's CPU realization of its
+///    batched routines ("OpenMP parallel loops around single threaded BLAS
+///    and LAPACK routines"), and the launch counter advances by 1.
+///  * Naive — one launch per batch *entry* (the per-block implementation a
+///    non-batched code would use). Same results; the launch counter advances
+///    by the batch size. The Naive-vs-Batched launch-count ratio is the
+///    mechanism behind the paper's GPU speedups, and is what the ablation
+///    benchmark reports.
+
+namespace h2sketch::batched {
+
+enum class Backend {
+  Naive,  ///< per-block execution: O(#blocks) kernel launches
+  Batched ///< one launch per level per operation: O(Csp log N) launches
+};
+
+/// Execution context: backend selection, kernel-launch accounting, and the
+/// per-level arena workspace.
+class ExecutionContext {
+ public:
+  explicit ExecutionContext(Backend backend = Backend::Batched) : backend_(backend) {}
+
+  Backend backend() const { return backend_; }
+
+  /// Total kernel launches recorded since construction / reset.
+  index_t kernel_launches() const { return launches_; }
+
+  /// Record `n` launches performed outside run_batch (e.g. a single
+  /// monolithic fill).
+  void count_launch(index_t n = 1) { launches_ += n; }
+
+  /// Execute f(i) for each batch entry i in [0, batch). In Batched mode this
+  /// is one launch executing the whole batch in parallel; in Naive mode each
+  /// entry is its own launch and runs sequentially.
+  template <typename F>
+  void run_batch(index_t batch, F&& f) {
+    if (batch <= 0) return;
+    if (backend_ == Backend::Batched) {
+      count_launch(1);
+      parallel_for(batch, f);
+    } else {
+      count_launch(batch);
+      serial_for(batch, f);
+    }
+  }
+
+  /// Arena for per-level batched temporaries (one allocation per level).
+  Workspace& workspace() { return workspace_; }
+
+  void reset_counters() { launches_ = 0; }
+
+ private:
+  Backend backend_;
+  index_t launches_ = 0;
+  Workspace workspace_;
+};
+
+} // namespace h2sketch::batched

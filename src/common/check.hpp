@@ -1,0 +1,36 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+
+/// \file check.hpp
+/// Error-checking macros. H2S_CHECK is always on (argument validation on
+/// public entry points); H2S_ASSERT compiles out in release internals.
+
+namespace h2sketch::detail {
+
+[[noreturn]] inline void throw_check_failure(const char* cond, const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << "h2sketch check failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::runtime_error(os.str());
+}
+
+} // namespace h2sketch::detail
+
+/// Validate a condition on a public API boundary; throws std::runtime_error.
+#define H2S_CHECK(cond, msg)                                                        \
+  do {                                                                              \
+    if (!(cond)) {                                                                  \
+      ::h2sketch::detail::throw_check_failure(#cond, __FILE__, __LINE__,            \
+                                              (std::ostringstream{} << msg).str()); \
+    }                                                                               \
+  } while (0)
+
+/// Internal invariant; enabled unless NDEBUG-and-H2S_NO_ASSERT.
+#if defined(NDEBUG) && defined(H2S_NO_ASSERT)
+#define H2S_ASSERT(cond, msg) ((void)0)
+#else
+#define H2S_ASSERT(cond, msg) H2S_CHECK(cond, msg)
+#endif

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+/// \file parallel.hpp
+/// Shared-memory parallel loop wrappers. The batched "GPU-model" backend
+/// maps each batch entry to one loop iteration — exactly the paper's CPU
+/// path (OpenMP parallel loops around single-threaded kernels).
+
+namespace h2sketch {
+
+/// Number of hardware threads OpenMP will use (1 when built without OpenMP).
+inline int num_threads() {
+#if defined(_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Apply f(i) for i in [0, n) with OpenMP when available.
+/// f must be safe to run concurrently for distinct i.
+template <typename F>
+void parallel_for(index_t n, F&& f) {
+#if defined(_OPENMP)
+  // Static scheduling: batch entries are small; per-iteration dispatch
+  // overhead dominates any imbalance win from dynamic scheduling.
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < n; ++i) f(i);
+#else
+  for (index_t i = 0; i < n; ++i) f(i);
+#endif
+}
+
+/// Serial loop with the same shape (the Naive backend uses this so both
+/// backends share call sites).
+template <typename F>
+void serial_for(index_t n, F&& f) {
+  for (index_t i = 0; i < n; ++i) f(i);
+}
+
+} // namespace h2sketch

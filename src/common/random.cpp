@@ -1,0 +1,108 @@
+#include "common/random.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace h2sketch {
+
+namespace {
+
+constexpr std::uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;
+constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;
+
+inline void philox_round(std::array<std::uint32_t, 4>& ctr, std::uint32_t k0, std::uint32_t k1) {
+  const std::uint64_t p0 = static_cast<std::uint64_t>(kPhiloxM0) * ctr[0];
+  const std::uint64_t p1 = static_cast<std::uint64_t>(kPhiloxM1) * ctr[2];
+  const std::uint32_t hi0 = static_cast<std::uint32_t>(p0 >> 32);
+  const std::uint32_t lo0 = static_cast<std::uint32_t>(p0);
+  const std::uint32_t hi1 = static_cast<std::uint32_t>(p1 >> 32);
+  const std::uint32_t lo1 = static_cast<std::uint32_t>(p1);
+  ctr = {hi1 ^ ctr[1] ^ k0, lo1, hi0 ^ ctr[3] ^ k1, lo0};
+}
+
+inline real_t u32_to_open01(std::uint32_t x) {
+  // (x + 0.5) / 2^32 in (0, 1), never exactly 0 or 1: safe for log().
+  return (static_cast<real_t>(x) + 0.5) * 0x1.0p-32;
+}
+
+} // namespace
+
+std::array<std::uint32_t, 4> Philox4x32::block(std::uint64_t key, std::uint64_t ctr_hi,
+                                               std::uint64_t ctr_lo) {
+  std::array<std::uint32_t, 4> ctr = {
+      static_cast<std::uint32_t>(ctr_lo), static_cast<std::uint32_t>(ctr_lo >> 32),
+      static_cast<std::uint32_t>(ctr_hi), static_cast<std::uint32_t>(ctr_hi >> 32)};
+  std::uint32_t k0 = static_cast<std::uint32_t>(key);
+  std::uint32_t k1 = static_cast<std::uint32_t>(key >> 32);
+  for (int round = 0; round < 10; ++round) {
+    philox_round(ctr, k0, k1);
+    k0 += kWeyl0;
+    k1 += kWeyl1;
+  }
+  return ctr;
+}
+
+real_t GaussianStream::operator()(std::uint64_t idx) const {
+  // Each counter block yields two Box-Muller pairs; index selects within.
+  const std::uint64_t blk = idx / 2;
+  const auto w = Philox4x32::block(seed_, /*ctr_hi=*/0x9e3779b97f4a7c15ull, blk);
+  const real_t u1 = u32_to_open01(w[0]);
+  const real_t u2 = u32_to_open01(w[1]);
+  const real_t u3 = u32_to_open01(w[2]);
+  const real_t u4 = u32_to_open01(w[3]);
+  const real_t r0 = std::sqrt(-2.0 * std::log(u1));
+  if (idx % 2 == 0) return r0 * std::cos(2.0 * std::numbers::pi * u2);
+  const real_t r1 = std::sqrt(-2.0 * std::log(u3));
+  return r1 * std::cos(2.0 * std::numbers::pi * u4);
+}
+
+real_t GaussianStream::uniform(std::uint64_t idx) const {
+  const auto w = Philox4x32::block(seed_, /*ctr_hi=*/0xbf58476d1ce4e5b9ull, idx / 4);
+  return u32_to_open01(w[idx % 4]);
+}
+
+void fill_gaussian(MatrixView a, const GaussianStream& stream, std::uint64_t offset) {
+  for (index_t j = 0; j < a.cols; ++j)
+    for (index_t i = 0; i < a.rows; ++i)
+      a(i, j) = stream(offset + static_cast<std::uint64_t>(j) * a.rows + i);
+}
+
+void fill_uniform(MatrixView a, const GaussianStream& stream, std::uint64_t offset) {
+  for (index_t j = 0; j < a.cols; ++j)
+    for (index_t i = 0; i < a.rows; ++i)
+      a(i, j) = stream.uniform(offset + static_cast<std::uint64_t>(j) * a.rows + i);
+}
+
+std::uint64_t SmallRng::next_u64() {
+  // splitmix64
+  state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+real_t SmallRng::next_real() { return static_cast<real_t>(next_u64() >> 11) * 0x1.0p-53; }
+
+index_t SmallRng::next_index(index_t n) {
+  H2S_ASSERT(n > 0, "next_index needs positive bound");
+  return static_cast<index_t>(next_u64() % static_cast<std::uint64_t>(n));
+}
+
+real_t SmallRng::next_gaussian() {
+  if (have_spare_) {
+    have_spare_ = false;
+    return spare_;
+  }
+  real_t u1 = 0.0;
+  while (u1 <= 1e-300) u1 = next_real();
+  const real_t u2 = next_real();
+  const real_t r = std::sqrt(-2.0 * std::log(u1));
+  spare_ = r * std::sin(2.0 * std::numbers::pi * u2);
+  have_spare_ = true;
+  return r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+} // namespace h2sketch

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+/// \file random.hpp
+/// Counter-based random number generation (Philox-4x32-10).
+///
+/// GPU batched-random kernels (cuRAND's Philox) generate element (i) of a
+/// stream purely from (seed, counter) with no sequential state, so every
+/// batch entry can be filled independently and the result is identical for
+/// any parallelization or generation order. We reproduce that model: the
+/// construction algorithm's `batchedRand` fills Ω(i, j) from a global column
+/// counter, making adaptive sample rounds reproducible across backends.
+
+namespace h2sketch {
+
+/// Philox-4x32-10 counter-based RNG (Salmon et al., SC'11).
+/// Produces four 32-bit words per 128-bit counter under a 64-bit key.
+struct Philox4x32 {
+  /// One 128-bit counter block -> four uniform 32-bit words.
+  static std::array<std::uint32_t, 4> block(std::uint64_t key, std::uint64_t ctr_hi,
+                                            std::uint64_t ctr_lo);
+};
+
+/// Deterministic stream of N(0,1) variates addressed by (seed, index).
+/// Thread-safe by construction: no mutable state.
+class GaussianStream {
+ public:
+  explicit GaussianStream(std::uint64_t seed) : seed_(seed) {}
+
+  /// The idx-th standard normal variate of this stream.
+  real_t operator()(std::uint64_t idx) const;
+
+  /// idx-th uniform variate in (0,1).
+  real_t uniform(std::uint64_t idx) const;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Fill a matrix view with N(0,1) entries: a(i,j) = stream(offset + j*rows + i).
+/// `offset` lets successive sample rounds continue the same logical stream.
+void fill_gaussian(MatrixView a, const GaussianStream& stream, std::uint64_t offset = 0);
+
+/// Fill with uniform (0,1) entries using the same addressing.
+void fill_uniform(MatrixView a, const GaussianStream& stream, std::uint64_t offset = 0);
+
+/// Small sequential PRNG for non-reproducibility-critical uses
+/// (test data, point jitter). splitmix64-based.
+class SmallRng {
+ public:
+  explicit SmallRng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next_u64();
+  /// Uniform in [0, 1).
+  real_t next_real();
+  /// Uniform integer in [0, n).
+  index_t next_index(index_t n);
+  /// Standard normal via Box-Muller.
+  real_t next_gaussian();
+
+ private:
+  std::uint64_t state_;
+  bool have_spare_ = false;
+  real_t spare_ = 0.0;
+};
+
+} // namespace h2sketch

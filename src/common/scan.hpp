@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+/// \file scan.hpp
+/// Prefix sums. The GPU implementation sizes each level's workspace with a
+/// Thrust prefix sum over per-node block dimensions and performs one
+/// allocation per operation; the same offsets drive our arena allocation
+/// and batch marshaling.
+
+namespace h2sketch {
+
+/// Exclusive prefix sum of `counts`; returns offsets of size counts.size()+1,
+/// where offsets.back() is the total.
+inline std::vector<index_t> exclusive_scan(const std::vector<index_t>& counts) {
+  std::vector<index_t> offsets(counts.size() + 1, 0);
+  for (size_t i = 0; i < counts.size(); ++i) offsets[i + 1] = offsets[i] + counts[i];
+  return offsets;
+}
+
+} // namespace h2sketch

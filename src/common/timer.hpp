@@ -1,0 +1,83 @@
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <string>
+
+#include "common/types.hpp"
+
+/// \file timer.hpp
+/// Wall-clock timing and the per-phase profiler used to reproduce the
+/// paper's Fig. 7 construction-time breakdown.
+
+namespace h2sketch {
+
+/// Seconds since an arbitrary epoch, monotonic.
+inline double wall_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+/// Simple start/elapsed stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(wall_seconds()) {}
+  void reset() { start_ = wall_seconds(); }
+  double elapsed() const { return wall_seconds() - start_; }
+
+ private:
+  double start_;
+};
+
+/// Construction phases, matching the components profiled in the paper's
+/// Fig. 7 (sampling, BSR gemm, convergence test, ID, entry generation,
+/// miscellaneous marshaling/allocation).
+enum class Phase : int {
+  Sampling = 0,   ///< batchedRand + Kblk black-box products
+  EntryGen,       ///< batchedGen dense/coupling entry evaluation
+  BsrGemm,        ///< batchedBSRGemm sample subtraction
+  Convergence,    ///< batched QR convergence test
+  ID,             ///< batched interpolative decompositions
+  Upsweep,        ///< batchedShrink + batchedGemm sample/vector upsweep
+  Misc,           ///< marshaling, workspace allocation, bookkeeping
+  kCount
+};
+
+/// Human-readable phase name.
+inline const char* phase_name(Phase p) {
+  static constexpr std::array<const char*, static_cast<int>(Phase::kCount)> names = {
+      "sampling", "entry_gen", "bsr_gemm", "convergence", "id", "upsweep", "misc"};
+  return names[static_cast<size_t>(static_cast<int>(p))];
+}
+
+/// Accumulates wall time per phase. Scoped measurement via PhaseScope.
+class PhaseProfiler {
+ public:
+  void add(Phase p, double seconds) { acc_[static_cast<size_t>(p)] += seconds; }
+  double seconds(Phase p) const { return acc_[static_cast<size_t>(p)]; }
+  double total() const {
+    double t = 0;
+    for (double v : acc_) t += v;
+    return t;
+  }
+  void reset() { acc_.fill(0.0); }
+
+ private:
+  std::array<double, static_cast<size_t>(Phase::kCount)> acc_{};
+};
+
+/// RAII phase timer: adds the scope's wall time to the profiler on exit.
+class PhaseScope {
+ public:
+  PhaseScope(PhaseProfiler& prof, Phase p) : prof_(prof), phase_(p), start_(wall_seconds()) {}
+  ~PhaseScope() { prof_.add(phase_, wall_seconds() - start_); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  PhaseProfiler& prof_;
+  Phase phase_;
+  double start_;
+};
+
+} // namespace h2sketch

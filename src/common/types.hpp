@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+/// \file types.hpp
+/// Fundamental scalar and index types used throughout h2sketch.
+
+namespace h2sketch {
+
+/// Floating-point scalar used for all matrix data.
+using real_t = double;
+
+/// Signed index type for matrix dimensions, point counts and tree nodes.
+/// Signed so that reverse loops and differences are safe.
+using index_t = std::int64_t;
+
+/// Non-owning contiguous range of scalars.
+using real_span = std::span<real_t>;
+using const_real_span = std::span<const real_t>;
+
+/// Non-owning contiguous range of indices.
+using index_span = std::span<index_t>;
+using const_index_span = std::span<const index_t>;
+
+} // namespace h2sketch

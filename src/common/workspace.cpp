@@ -1,0 +1,7 @@
+#include "common/workspace.hpp"
+
+// Workspace is header-only today; this translation unit pins the module's
+// object file so the library always has at least one symbol.
+namespace h2sketch::detail {
+void workspace_anchor() {}
+} // namespace h2sketch::detail

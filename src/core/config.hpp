@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+/// \file config.hpp
+/// Options for the sketching-based H2 construction (Algorithm 1).
+
+namespace h2sketch::core {
+
+/// How the construction derives the absolute convergence/ID threshold
+/// eps_abs = tol * ||K|| from the relative tolerance.
+enum class NormEstimate {
+  /// ||K||_F estimated from the first sketch round as ||Y||_F / sqrt(d):
+  /// free (no extra matvecs) and slightly conservative.
+  SketchFrobenius,
+  /// Caller supplies the norm (e.g. a power-method 2-norm estimate).
+  Given
+};
+
+struct ConstructionOptions {
+  /// Relative compression tolerance epsilon (paper: 1e-6).
+  real_t tol = 1e-6;
+
+  /// Sample block size d: columns added per sampling round (paper Table II:
+  /// equal to the leaf size, or fixed at 32).
+  index_t sample_block = 64;
+
+  /// Columns of the initial round; 0 means sample_block. The paper's Fig. 5
+  /// experiments start with 256.
+  index_t initial_samples = 0;
+
+  /// Adaptive sampling on/off. When off, exactly the initial round is taken
+  /// and the convergence test is skipped (the paper's fixed-sample variant,
+  /// which presumes d >= r + p).
+  bool adaptive = true;
+
+  /// Hard cap on total samples (safety; the algorithm also stops adding
+  /// samples for a node once d reaches the node's row count).
+  index_t max_samples = 4096;
+
+  /// Seed for the counter-based Gaussian stream.
+  std::uint64_t seed = 0x5eed2025;
+
+  NormEstimate norm_est = NormEstimate::SketchFrobenius;
+  /// ||K|| when norm_est == Given.
+  real_t given_norm = 0.0;
+
+  /// Multiplier on eps_abs for the per-level ID truncation eps_l — the
+  /// "simple error compensation scheme" knob discussed with Table II.
+  real_t id_tol_factor = 1.0;
+
+  index_t effective_initial_samples() const {
+    return initial_samples > 0 ? initial_samples : sample_block;
+  }
+};
+
+} // namespace h2sketch::core

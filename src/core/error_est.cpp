@@ -1,0 +1,54 @@
+#include "core/error_est.hpp"
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "la/blas.hpp"
+
+namespace h2sketch::core {
+
+namespace {
+
+/// Power iteration on v -> op(v); returns the last Rayleigh-style norm ratio.
+template <typename ApplyFn>
+real_t power_norm(index_t n, ApplyFn&& apply, int iters, std::uint64_t seed) {
+  Matrix v(n, 1), w(n, 1);
+  fill_gaussian(v.view(), GaussianStream(seed));
+  real_t nv = la::norm_f(v.view());
+  if (nv == 0.0) return 0.0;
+  for (index_t i = 0; i < n; ++i) v(i, 0) /= nv;
+  real_t lambda = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    apply(v.view(), w.view());
+    lambda = la::norm_f(w.view());
+    if (lambda == 0.0) return 0.0;
+    for (index_t i = 0; i < n; ++i) v(i, 0) = w(i, 0) / lambda;
+  }
+  return lambda;
+}
+
+} // namespace
+
+real_t norm2_estimate(kern::MatVecSampler& a, int iters, std::uint64_t seed) {
+  return power_norm(
+      a.size(), [&](ConstMatrixView x, MatrixView y) { a.sample(x, y); }, iters, seed);
+}
+
+real_t relative_error_2norm(kern::MatVecSampler& a, kern::MatVecSampler& b, int iters,
+                            std::uint64_t seed) {
+  H2S_CHECK(a.size() == b.size(), "relative_error_2norm: size mismatch");
+  const index_t n = a.size();
+  Matrix tmp(n, 1);
+  const real_t diff = power_norm(
+      n,
+      [&](ConstMatrixView x, MatrixView y) {
+        a.sample(x, y);
+        b.sample(x, tmp.view());
+        for (index_t i = 0; i < n; ++i) y(i, 0) -= tmp(i, 0);
+      },
+      iters, seed);
+  const real_t na = norm2_estimate(a, iters, seed + 1);
+  return na == 0.0 ? diff : diff / na;
+}
+
+} // namespace h2sketch::core

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "kernels/sampler.hpp"
+
+/// \file error_est.hpp
+/// Randomized 2-norm estimation via power iteration on black-box operators
+/// (paper §V-A: "we measure the approximation relative error
+/// |Kcomp - K| / |K| using a few iterations of the power method").
+/// Operators are assumed symmetric, as in the paper.
+
+namespace h2sketch::core {
+
+/// ||A||_2 estimate by `iters` power iterations from a random start.
+real_t norm2_estimate(kern::MatVecSampler& a, int iters = 20, std::uint64_t seed = 0x901);
+
+/// ||A - B||_2 / ||A||_2 for two samplers of the same size.
+real_t relative_error_2norm(kern::MatVecSampler& a, kern::MatVecSampler& b, int iters = 20,
+                            std::uint64_t seed = 0x902);
+
+} // namespace h2sketch::core

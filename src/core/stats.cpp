@@ -1,0 +1,22 @@
+#include "core/stats.hpp"
+
+#include <sstream>
+
+namespace h2sketch::core {
+
+std::string ConstructionStats::summary() const {
+  std::ostringstream os;
+  os << "time " << total_seconds << " s, samples " << total_samples << " (" << sample_rounds
+     << " rounds), ranks [" << min_rank << ", " << max_rank << "], memory "
+     << static_cast<double>(memory_bytes) / (1024.0 * 1024.0) << " MiB, launches "
+     << kernel_launches << ", entries " << entries_generated << ", Csp " << csp << ", levels "
+     << levels;
+  if (nonconverged_nodes > 0) os << ", NONCONVERGED nodes " << nonconverged_nodes;
+  os << "\nphases:";
+  for (int p = 0; p < static_cast<int>(Phase::kCount); ++p)
+    os << " " << phase_name(static_cast<Phase>(p)) << "=" << phases.seconds(static_cast<Phase>(p))
+       << "s";
+  return os.str();
+}
+
+} // namespace h2sketch::core

@@ -1,0 +1,70 @@
+#include "geometry/bounding_box.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace h2sketch::geo {
+
+BoundingBox BoundingBox::of_points(const PointCloud& pc, const_index_span perm, index_t begin,
+                                   index_t end) {
+  BoundingBox b;
+  b.dim = pc.dim();
+  if (begin >= end) return b;
+  for (index_t d = 0; d < b.dim; ++d) {
+    b.lo[static_cast<size_t>(d)] = std::numeric_limits<real_t>::infinity();
+    b.hi[static_cast<size_t>(d)] = -std::numeric_limits<real_t>::infinity();
+  }
+  for (index_t p = begin; p < end; ++p) {
+    const index_t i = perm[static_cast<size_t>(p)];
+    for (index_t d = 0; d < b.dim; ++d) {
+      const real_t c = pc.coord(i, d);
+      b.lo[static_cast<size_t>(d)] = std::min(b.lo[static_cast<size_t>(d)], c);
+      b.hi[static_cast<size_t>(d)] = std::max(b.hi[static_cast<size_t>(d)], c);
+    }
+  }
+  return b;
+}
+
+real_t BoundingBox::diameter() const {
+  real_t s = 0.0;
+  for (index_t d = 0; d < dim; ++d) {
+    const real_t e = hi[static_cast<size_t>(d)] - lo[static_cast<size_t>(d)];
+    s += e * e;
+  }
+  return std::sqrt(s);
+}
+
+real_t BoundingBox::distance(const BoundingBox& other) const {
+  real_t s = 0.0;
+  for (index_t d = 0; d < dim; ++d) {
+    const real_t gap = std::max({0.0, lo[static_cast<size_t>(d)] - other.hi[static_cast<size_t>(d)],
+                                 other.lo[static_cast<size_t>(d)] - hi[static_cast<size_t>(d)]});
+    s += gap * gap;
+  }
+  return std::sqrt(s);
+}
+
+index_t BoundingBox::widest_dim() const {
+  index_t best = 0;
+  real_t w = -1.0;
+  for (index_t d = 0; d < dim; ++d) {
+    const real_t e = hi[static_cast<size_t>(d)] - lo[static_cast<size_t>(d)];
+    if (e > w) {
+      w = e;
+      best = d;
+    }
+  }
+  return best;
+}
+
+bool BoundingBox::contains(const PointCloud& pc, index_t point) const {
+  for (index_t d = 0; d < dim; ++d) {
+    const real_t c = pc.coord(point, d);
+    if (c < lo[static_cast<size_t>(d)] - 1e-14 || c > hi[static_cast<size_t>(d)] + 1e-14)
+      return false;
+  }
+  return true;
+}
+
+} // namespace h2sketch::geo

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <array>
+
+#include "geometry/point_cloud.hpp"
+
+/// \file bounding_box.hpp
+/// Axis-aligned bounding boxes with the diameter/distance queries used by
+/// the general admissibility condition (paper Eq. (1)).
+
+namespace h2sketch::geo {
+
+/// Axis-aligned box in up to 3 dimensions. Unused dimensions collapse to
+/// [0, 0] so diameter/distance remain correct for 1D/2D point sets.
+struct BoundingBox {
+  std::array<real_t, 3> lo = {0, 0, 0};
+  std::array<real_t, 3> hi = {0, 0, 0};
+  index_t dim = 0;
+
+  /// Smallest box containing the points at positions perm[begin..end).
+  static BoundingBox of_points(const PointCloud& pc, const_index_span perm, index_t begin,
+                               index_t end);
+
+  /// Euclidean length of the box diagonal: D in the admissibility condition.
+  real_t diameter() const;
+
+  /// Euclidean gap between two boxes (0 if they intersect): Dist in Eq. (1).
+  real_t distance(const BoundingBox& other) const;
+
+  /// Index of the widest dimension (KD-tree split axis).
+  index_t widest_dim() const;
+
+  /// True if the point at position i (via perm) lies within the box.
+  bool contains(const PointCloud& pc, index_t point) const;
+};
+
+} // namespace h2sketch::geo

@@ -1,0 +1,54 @@
+#include "geometry/kdtree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace h2sketch::geo {
+
+KdClustering build_kd_clustering(const PointCloud& pc, index_t leaf_size) {
+  const index_t n = pc.size();
+  H2S_CHECK(n > 0, "cannot cluster an empty point set");
+  H2S_CHECK(leaf_size >= 1, "leaf_size must be positive");
+
+  KdClustering t;
+  // Depth so that ceil(n / 2^(L-1)) <= leaf_size, capped so every leaf keeps
+  // at least one point (relevant only for tiny leaf_size).
+  index_t levels = 1;
+  index_t leaves = 1;
+  while ((n + leaves - 1) / leaves > leaf_size && 2 * leaves <= n) {
+    leaves *= 2;
+    ++levels;
+  }
+  t.num_levels = levels;
+  t.perm.resize(static_cast<size_t>(n));
+  std::iota(t.perm.begin(), t.perm.end(), index_t{0});
+  t.nodes.resize(static_cast<size_t>((index_t{1} << levels) - 1));
+
+  // Iterative top-down split, level by level (the level-major order also
+  // matches how the construction algorithm walks the tree).
+  t.nodes[0].begin = 0;
+  t.nodes[0].end = n;
+  for (index_t l = 0; l < levels; ++l) {
+    const index_t first = (index_t{1} << l) - 1;
+    const index_t count = index_t{1} << l;
+    for (index_t i = 0; i < count; ++i) {
+      KdNode& node = t.nodes[static_cast<size_t>(first + i)];
+      node.box = BoundingBox::of_points(pc, t.perm, node.begin, node.end);
+      if (l + 1 == levels) continue; // leaf level: no split
+      const index_t axis = node.box.widest_dim();
+      const index_t half = node.begin + (node.size() + 1) / 2; // ceil half left
+      auto* base = t.perm.data();
+      std::nth_element(base + node.begin, base + half, base + node.end,
+                       [&](index_t a, index_t b) { return pc.coord(a, axis) < pc.coord(b, axis); });
+      KdNode& left = t.nodes[static_cast<size_t>(2 * (first + i) + 1)];
+      KdNode& right = t.nodes[static_cast<size_t>(2 * (first + i) + 2)];
+      left.begin = node.begin;
+      left.end = half;
+      right.begin = half;
+      right.end = node.end;
+    }
+  }
+  return t;
+}
+
+} // namespace h2sketch::geo

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "geometry/bounding_box.hpp"
+#include "geometry/point_cloud.hpp"
+
+/// \file kdtree.hpp
+/// Median-split KD clustering (paper §V-A: "the cluster tree is constructed
+/// as a KD-tree"). Median splits keep the tree *perfect* (every leaf at the
+/// same depth, sibling sizes within one point), which lets every level be
+/// stored contiguously and processed with one batch per operation.
+
+namespace h2sketch::geo {
+
+/// One cluster: a contiguous range [begin, end) of the permuted point order
+/// plus its tight bounding box.
+struct KdNode {
+  index_t begin = 0;
+  index_t end = 0;
+  BoundingBox box;
+
+  index_t size() const { return end - begin; }
+};
+
+/// A perfect binary KD clustering stored in heap order
+/// (root = node 0; children of i are 2i+1, 2i+2; level l spans
+/// [2^l - 1, 2^{l+1} - 1)).
+struct KdClustering {
+  index_t num_levels = 0;        ///< root level 0 .. leaf level num_levels-1
+  std::vector<index_t> perm;     ///< permuted position -> original point index
+  std::vector<KdNode> nodes;     ///< heap order, size 2^num_levels - 1
+};
+
+/// Build the clustering: split along the widest box dimension at the median
+/// until every leaf holds at most leaf_size points. leaf_size >= 1.
+KdClustering build_kd_clustering(const PointCloud& pc, index_t leaf_size);
+
+} // namespace h2sketch::geo

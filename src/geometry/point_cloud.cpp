@@ -1,0 +1,71 @@
+#include "geometry/point_cloud.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/random.hpp"
+
+namespace h2sketch::geo {
+
+real_t PointCloud::distance(index_t i, index_t j) const {
+  real_t s = 0.0;
+  for (index_t d = 0; d < dim_; ++d) {
+    const real_t diff = coord(i, d) - coord(j, d);
+    s += diff * diff;
+  }
+  return std::sqrt(s);
+}
+
+PointCloud uniform_random_cube(index_t n, index_t dim, std::uint64_t seed) {
+  PointCloud pc(n, dim);
+  SmallRng rng(seed);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t d = 0; d < dim; ++d) pc.coord(i, d) = rng.next_real();
+  return pc;
+}
+
+PointCloud uniform_grid(index_t per_side, index_t dim) {
+  index_t n = 1;
+  for (index_t d = 0; d < dim; ++d) n *= per_side;
+  PointCloud pc(n, dim);
+  const real_t h = per_side > 1 ? 1.0 / static_cast<real_t>(per_side - 1) : 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    index_t rem = i;
+    for (index_t d = 0; d < dim; ++d) {
+      pc.coord(i, d) = static_cast<real_t>(rem % per_side) * h;
+      rem /= per_side;
+    }
+  }
+  return pc;
+}
+
+PointCloud plane_grid(index_t nx, index_t ny, real_t z0) {
+  PointCloud pc(nx * ny, 3);
+  const real_t hx = nx > 1 ? 1.0 / static_cast<real_t>(nx - 1) : 0.0;
+  const real_t hy = ny > 1 ? 1.0 / static_cast<real_t>(ny - 1) : 0.0;
+  for (index_t j = 0; j < ny; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      const index_t p = j * nx + i;
+      pc.coord(p, 0) = static_cast<real_t>(i) * hx;
+      pc.coord(p, 1) = static_cast<real_t>(j) * hy;
+      pc.coord(p, 2) = z0;
+    }
+  }
+  return pc;
+}
+
+PointCloud sphere_surface(index_t n) {
+  PointCloud pc(n, 3);
+  const real_t golden = std::numbers::pi * (3.0 - std::sqrt(5.0));
+  for (index_t i = 0; i < n; ++i) {
+    const real_t y = 1.0 - 2.0 * (static_cast<real_t>(i) + 0.5) / static_cast<real_t>(n);
+    const real_t r = std::sqrt(std::max(0.0, 1.0 - y * y));
+    const real_t th = golden * static_cast<real_t>(i);
+    pc.coord(i, 0) = r * std::cos(th);
+    pc.coord(i, 1) = y;
+    pc.coord(i, 2) = r * std::sin(th);
+  }
+  return pc;
+}
+
+} // namespace h2sketch::geo

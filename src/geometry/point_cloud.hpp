@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+/// \file point_cloud.hpp
+/// Point sets in 1-3 dimensions with the generators used by the paper's
+/// experiments (uniform 3D distributions in a cube) and by the frontal-matrix
+/// substitution (separator-plane grids).
+
+namespace h2sketch::geo {
+
+/// Dense set of n points in `dim` dimensions, stored point-major
+/// (x0 y0 z0 x1 y1 z1 ...).
+class PointCloud {
+ public:
+  PointCloud() = default;
+  PointCloud(index_t n, index_t dim) : dim_(dim), coords_(static_cast<size_t>(n * dim), 0.0) {
+    H2S_CHECK(dim >= 1 && dim <= 3, "PointCloud supports 1-3 dimensions");
+  }
+
+  index_t size() const { return dim_ == 0 ? 0 : static_cast<index_t>(coords_.size()) / dim_; }
+  index_t dim() const { return dim_; }
+
+  real_t& coord(index_t i, index_t d) { return coords_[static_cast<size_t>(i * dim_ + d)]; }
+  real_t coord(index_t i, index_t d) const { return coords_[static_cast<size_t>(i * dim_ + d)]; }
+
+  /// Euclidean distance between points i and j.
+  real_t distance(index_t i, index_t j) const;
+
+  const std::vector<real_t>& raw() const { return coords_; }
+
+ private:
+  index_t dim_ = 0;
+  std::vector<real_t> coords_;
+};
+
+/// n points uniformly random in the unit cube [0,1]^dim.
+PointCloud uniform_random_cube(index_t n, index_t dim, std::uint64_t seed);
+
+/// Regular grid with `per_side` points per dimension in [0,1]^dim
+/// (n = per_side^dim points total).
+PointCloud uniform_grid(index_t per_side, index_t dim);
+
+/// nx x ny grid on the plane z = z0 inside the unit cube; this is the
+/// geometry of a 3D-grid separator, used by the synthetic frontal matrices.
+PointCloud plane_grid(index_t nx, index_t ny, real_t z0);
+
+/// n points on the unit sphere surface (Fibonacci spiral), for boundary-IE
+/// style geometry tests.
+PointCloud sphere_surface(index_t n);
+
+} // namespace h2sketch::geo

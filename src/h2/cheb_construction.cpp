@@ -1,0 +1,181 @@
+#include "h2/cheb_construction.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace h2sketch::h2 {
+
+namespace {
+
+/// 1D Chebyshev-Gauss nodes mapped to [center-half, center+half].
+std::vector<real_t> cheb_nodes_1d(real_t lo, real_t hi, index_t q) {
+  // Guard zero-extent boxes (duplicate points, degenerate planes): widen so
+  // Lagrange denominators stay nonzero.
+  const real_t c = 0.5 * (lo + hi);
+  const real_t h = std::max(0.5 * (hi - lo), 1e-8 * (1.0 + std::abs(c)));
+  std::vector<real_t> x(static_cast<size_t>(q));
+  for (index_t m = 0; m < q; ++m)
+    x[static_cast<size_t>(m)] =
+        c + h * std::cos(std::numbers::pi * (2.0 * m + 1.0) / (2.0 * q));
+  return x;
+}
+
+/// Lagrange basis L_m(x) over the 1D nodes.
+real_t lagrange(const std::vector<real_t>& nodes, index_t m, real_t x) {
+  real_t v = 1.0;
+  for (index_t k = 0; k < static_cast<index_t>(nodes.size()); ++k) {
+    if (k == m) continue;
+    v *= (x - nodes[static_cast<size_t>(k)]) /
+         (nodes[static_cast<size_t>(m)] - nodes[static_cast<size_t>(k)]);
+  }
+  return v;
+}
+
+/// Tensor Chebyshev grid of a box: r = q^dim points, row-major over the
+/// base-q digits of the flat index.
+struct ChebGrid {
+  index_t q = 0;
+  index_t dim = 0;
+  std::vector<std::vector<real_t>> nodes_1d; ///< per dimension
+  index_t rank() const {
+    index_t r = 1;
+    for (index_t d = 0; d < dim; ++d) r *= q;
+    return r;
+  }
+  /// Coordinates of tensor point m.
+  void point(index_t m, real_t* out) const {
+    index_t rem = m;
+    for (index_t d = 0; d < dim; ++d) {
+      out[d] = nodes_1d[static_cast<size_t>(d)][static_cast<size_t>(rem % q)];
+      rem /= q;
+    }
+  }
+  /// Tensor Lagrange basis value of function m at coordinates x.
+  real_t basis(index_t m, const real_t* x) const {
+    index_t rem = m;
+    real_t v = 1.0;
+    for (index_t d = 0; d < dim; ++d) {
+      v *= lagrange(nodes_1d[static_cast<size_t>(d)], rem % q, x[d]);
+      rem /= q;
+    }
+    return v;
+  }
+};
+
+ChebGrid grid_of_box(const geo::BoundingBox& box, index_t q) {
+  ChebGrid g;
+  g.q = q;
+  g.dim = box.dim;
+  g.nodes_1d.resize(static_cast<size_t>(box.dim));
+  for (index_t d = 0; d < box.dim; ++d)
+    g.nodes_1d[static_cast<size_t>(d)] =
+        cheb_nodes_1d(box.lo[static_cast<size_t>(d)], box.hi[static_cast<size_t>(d)], q);
+  return g;
+}
+
+} // namespace
+
+H2Matrix build_cheb_h2(std::shared_ptr<const tree::ClusterTree> tree,
+                       const tree::Admissibility& adm, const kern::KernelFunction& kernel,
+                       index_t q) {
+  H2S_CHECK(q >= 2, "need at least two interpolation nodes per dimension");
+  H2Matrix a;
+  a.tree = tree;
+  a.mtree = tree::MatrixTree::build(*tree, adm);
+  a.init_structure();
+
+  const tree::ClusterTree& t = *tree;
+  const index_t dim = t.dim();
+  const index_t leaf = t.leaf_level();
+  index_t rank = 1;
+  for (index_t d = 0; d < dim; ++d) rank *= q;
+
+  // Grids for every node, level-major.
+  std::vector<std::vector<ChebGrid>> grids(static_cast<size_t>(t.num_levels()));
+  for (index_t l = 0; l < t.num_levels(); ++l) {
+    grids[static_cast<size_t>(l)].resize(static_cast<size_t>(t.nodes_at(l)));
+    for (index_t i = 0; i < t.nodes_at(l); ++i) {
+      grids[static_cast<size_t>(l)][static_cast<size_t>(i)] = grid_of_box(t.box(l, i), q);
+      a.ranks[static_cast<size_t>(l)][static_cast<size_t>(i)] = rank;
+    }
+  }
+
+  // Leaf bases: U(p, m) = tensor Lagrange basis m at point p.
+  for (index_t i = 0; i < t.nodes_at(leaf); ++i) {
+    const ChebGrid& g = grids[static_cast<size_t>(leaf)][static_cast<size_t>(i)];
+    Matrix u(t.size(leaf, i), rank);
+    for (index_t p = 0; p < t.size(leaf, i); ++p) {
+      real_t x[3] = {0, 0, 0};
+      for (index_t d = 0; d < dim; ++d) x[d] = t.coord_permuted(t.begin(leaf, i) + p, d);
+      for (index_t m = 0; m < rank; ++m) u(p, m) = g.basis(m, x);
+    }
+    a.basis[static_cast<size_t>(leaf)][static_cast<size_t>(i)] = std::move(u);
+  }
+
+  // Transfer matrices: child grid points interpolated in the parent's basis.
+  for (index_t l = leaf - 1; l >= 0; --l) {
+    for (index_t i = 0; i < t.nodes_at(l); ++i) {
+      const ChebGrid& parent = grids[static_cast<size_t>(l)][static_cast<size_t>(i)];
+      Matrix tr(2 * rank, rank);
+      for (int side = 0; side < 2; ++side) {
+        const ChebGrid& child = grids[static_cast<size_t>(l + 1)][static_cast<size_t>(2 * i + side)];
+        for (index_t mc = 0; mc < rank; ++mc) {
+          real_t x[3] = {0, 0, 0};
+          child.point(mc, x);
+          for (index_t mp = 0; mp < rank; ++mp)
+            tr(side * rank + mc, mp) = parent.basis(mp, x);
+        }
+      }
+      a.basis[static_cast<size_t>(l)][static_cast<size_t>(i)] = std::move(tr);
+    }
+  }
+
+  // Coupling blocks: kernel between the two grids.
+  for (index_t l = 0; l < t.num_levels(); ++l) {
+    const auto& far = a.mtree.far[static_cast<size_t>(l)];
+    for (index_t s = 0; s < t.nodes_at(l); ++s) {
+      for (index_t j = 0; j < far.row_count(s); ++j) {
+        const index_t e = far.row_ptr[static_cast<size_t>(s)] + j;
+        const index_t c = far.col[static_cast<size_t>(e)];
+        const ChebGrid& gs = grids[static_cast<size_t>(l)][static_cast<size_t>(s)];
+        const ChebGrid& gc = grids[static_cast<size_t>(l)][static_cast<size_t>(c)];
+        Matrix b(rank, rank);
+        for (index_t mt = 0; mt < rank; ++mt) {
+          real_t y[3] = {0, 0, 0};
+          gc.point(mt, y);
+          for (index_t ms = 0; ms < rank; ++ms) {
+            real_t x[3] = {0, 0, 0};
+            gs.point(ms, x);
+            b(ms, mt) = kernel.evaluate(x, y, dim);
+          }
+        }
+        a.coupling[static_cast<size_t>(l)][static_cast<size_t>(e)] = std::move(b);
+      }
+    }
+  }
+
+  // Dense near field: exact kernel entries.
+  const auto& near = a.mtree.near_leaf;
+  for (index_t s = 0; s < t.nodes_at(leaf); ++s) {
+    for (index_t j = 0; j < near.row_count(s); ++j) {
+      const index_t e = near.row_ptr[static_cast<size_t>(s)] + j;
+      const index_t c = near.col[static_cast<size_t>(e)];
+      Matrix dmat(t.size(leaf, s), t.size(leaf, c));
+      for (index_t jj = 0; jj < dmat.cols(); ++jj) {
+        real_t y[3] = {0, 0, 0};
+        for (index_t d = 0; d < dim; ++d) y[d] = t.coord_permuted(t.begin(leaf, c) + jj, d);
+        for (index_t ii = 0; ii < dmat.rows(); ++ii) {
+          real_t x[3] = {0, 0, 0};
+          for (index_t d = 0; d < dim; ++d) x[d] = t.coord_permuted(t.begin(leaf, s) + ii, d);
+          dmat(ii, jj) = kernel.evaluate(x, y, dim);
+        }
+      }
+      a.dense[static_cast<size_t>(e)] = std::move(dmat);
+    }
+  }
+
+  a.validate();
+  return a;
+}
+
+} // namespace h2sketch::h2

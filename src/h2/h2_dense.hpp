@@ -1,0 +1,18 @@
+#pragma once
+
+#include "h2/h2_matrix.hpp"
+
+/// \file h2_dense.hpp
+/// Densification of an H2 matrix (small problems only; tests and error
+/// oracles). Expands the nested bases level by level and accumulates
+/// U_s B_{s,t} U_t^T over every admissible block plus the dense leaves.
+
+namespace h2sketch::h2 {
+
+/// Full dense representation in permuted position space. O(N^2) memory.
+Matrix densify(const H2Matrix& a);
+
+/// Expanded (non-nested) basis U_tau for one node: cluster_size x rank.
+Matrix expand_basis(const H2Matrix& a, index_t level, index_t node);
+
+} // namespace h2sketch::h2

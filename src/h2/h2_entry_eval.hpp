@@ -1,0 +1,36 @@
+#pragma once
+
+#include "h2/h2_matrix.hpp"
+#include "kernels/entry_gen.hpp"
+
+/// \file h2_entry_eval.hpp
+/// Entry evaluation of an already-constructed H2 matrix. An admissible
+/// entry (i, j) meets its coupling block at some level l; its value is
+///   (row i of U_s) * B_{s,t} * (row j of U_t)^T,
+/// where the U rows are expanded through the transfer-matrix chain of
+/// Eq. (2). This is the batchedGen used by the paper's third application
+/// (recompression of an H2 matrix plus a low-rank update), where entries
+/// must come from the existing H2 representation rather than a kernel.
+
+namespace h2sketch::h2 {
+
+class H2EntryGenerator final : public kern::EntryGenerator {
+ public:
+  /// The H2 matrix must outlive the generator.
+  explicit H2EntryGenerator(const H2Matrix& a);
+
+  /// Evaluate a single (permuted) entry.
+  real_t entry(index_t i, index_t j) const;
+
+  void generate_block(const_index_span rows, const_index_span cols, MatrixView out) const override;
+
+ private:
+  /// Basis row of position p at every level: chain[l] is a 1 x rank(l, node)
+  /// row vector (empty above the levels reached).
+  std::vector<std::vector<real_t>> basis_row_chain(index_t p) const;
+
+  const H2Matrix* a_;
+  std::vector<index_t> leaf_of_; ///< permuted position -> leaf node index
+};
+
+} // namespace h2sketch::h2

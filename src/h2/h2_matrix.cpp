@@ -1,0 +1,108 @@
+#include "h2/h2_matrix.hpp"
+
+namespace h2sketch::h2 {
+
+void H2Matrix::init_structure() {
+  H2S_CHECK(tree != nullptr, "H2Matrix: tree not set");
+  const index_t levels = tree->num_levels();
+  ranks.assign(static_cast<size_t>(levels), {});
+  basis.assign(static_cast<size_t>(levels), {});
+  coupling.assign(static_cast<size_t>(levels), {});
+  skeleton.assign(static_cast<size_t>(levels), {});
+  for (index_t l = 0; l < levels; ++l) {
+    const auto nodes = static_cast<size_t>(tree->nodes_at(l));
+    ranks[static_cast<size_t>(l)].assign(nodes, 0);
+    basis[static_cast<size_t>(l)].assign(nodes, Matrix());
+    skeleton[static_cast<size_t>(l)].assign(nodes, {});
+    coupling[static_cast<size_t>(l)].assign(static_cast<size_t>(mtree.far[static_cast<size_t>(l)].count()),
+                                            Matrix());
+  }
+  dense.assign(static_cast<size_t>(mtree.near_leaf.count()), Matrix());
+}
+
+index_t H2Matrix::min_rank() const {
+  index_t mn = -1;
+  for (index_t l = 0; l < num_levels(); ++l) {
+    if (mtree.far[static_cast<size_t>(l)].count() == 0) continue;
+    for (index_t i = 0; i < tree->nodes_at(l); ++i) {
+      if (mtree.far[static_cast<size_t>(l)].row_count(i) == 0) continue;
+      const index_t r = rank(l, i);
+      mn = mn < 0 ? r : std::min(mn, r);
+    }
+  }
+  return mn < 0 ? 0 : mn;
+}
+
+index_t H2Matrix::max_rank() const {
+  index_t mx = 0;
+  for (index_t l = 0; l < num_levels(); ++l)
+    for (index_t i = 0; i < tree->nodes_at(l); ++i) mx = std::max(mx, rank(l, i));
+  return mx;
+}
+
+std::size_t H2Matrix::memory_bytes() const {
+  std::size_t bytes = 0;
+  auto mat_bytes = [](const Matrix& m) {
+    return static_cast<std::size_t>(m.size()) * sizeof(real_t);
+  };
+  for (const auto& lvl : basis)
+    for (const auto& m : lvl) bytes += mat_bytes(m);
+  for (const auto& lvl : coupling)
+    for (const auto& m : lvl) bytes += mat_bytes(m);
+  for (const auto& m : dense) bytes += mat_bytes(m);
+  for (const auto& lvl : skeleton)
+    for (const auto& s : lvl) bytes += s.size() * sizeof(index_t);
+  return bytes;
+}
+
+void H2Matrix::validate() const {
+  H2S_CHECK(tree != nullptr, "H2Matrix: tree not set");
+  const index_t levels = num_levels();
+  const index_t leaf = leaf_level();
+  for (index_t l = 0; l < levels; ++l) {
+    const auto ul = static_cast<size_t>(l);
+    H2S_CHECK(static_cast<index_t>(ranks[ul].size()) == tree->nodes_at(l),
+              "rank array size mismatch at level " << l);
+    for (index_t i = 0; i < tree->nodes_at(l); ++i) {
+      const auto ui = static_cast<size_t>(i);
+      const Matrix& b = basis[ul][ui];
+      const index_t r = ranks[ul][ui];
+      if (l == leaf) {
+        if (r > 0)
+          H2S_CHECK(b.rows() == tree->size(l, i) && b.cols() == r,
+                    "leaf basis dims mismatch at node " << i);
+      } else if (r > 0) {
+        const index_t child_rows = rank(l + 1, 2 * i) + rank(l + 1, 2 * i + 1);
+        H2S_CHECK(b.rows() == child_rows && b.cols() == r,
+                  "transfer dims mismatch at level " << l << " node " << i);
+      }
+      if (!skeleton[ul][ui].empty())
+        H2S_CHECK(static_cast<index_t>(skeleton[ul][ui].size()) == r,
+                  "skeleton size != rank at level " << l << " node " << i);
+    }
+    // Coupling blocks match the CSR far list and the node ranks.
+    const auto& far = mtree.far[ul];
+    H2S_CHECK(static_cast<index_t>(coupling[ul].size()) == far.count(),
+              "coupling count mismatch at level " << l);
+    for (index_t rnode = 0; rnode < tree->nodes_at(l); ++rnode)
+      for (index_t j = 0; j < far.row_count(rnode); ++j) {
+        const index_t e = far.row_ptr[static_cast<size_t>(rnode)] + j;
+        const index_t cnode = far.col[static_cast<size_t>(e)];
+        const Matrix& bm = coupling[ul][static_cast<size_t>(e)];
+        H2S_CHECK(bm.rows() == rank(l, rnode) && bm.cols() == rank(l, cnode),
+                  "coupling dims mismatch at level " << l << " entry " << e);
+      }
+  }
+  const auto& near = mtree.near_leaf;
+  H2S_CHECK(static_cast<index_t>(dense.size()) == near.count(), "dense count mismatch");
+  for (index_t rnode = 0; rnode < tree->nodes_at(leaf); ++rnode)
+    for (index_t j = 0; j < near.row_count(rnode); ++j) {
+      const index_t e = near.row_ptr[static_cast<size_t>(rnode)] + j;
+      const index_t cnode = near.col[static_cast<size_t>(e)];
+      H2S_CHECK(dense[static_cast<size_t>(e)].rows() == tree->size(leaf, rnode) &&
+                    dense[static_cast<size_t>(e)].cols() == tree->size(leaf, cnode),
+                "dense dims mismatch at entry " << e);
+    }
+}
+
+} // namespace h2sketch::h2

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "tree/matrix_tree.hpp"
+
+/// \file h2_matrix.hpp
+/// The H2 matrix data structure (paper §II-A, Figs. 1-3): nested cluster
+/// bases stored level by level.
+///
+///  * Leaf nodes store explicit bases U_tau (n_tau x r_tau).
+///  * Inner nodes store stacked transfer matrices [E_left; E_right]
+///    ((r_left + r_right) x r_tau), implicitly defining
+///    U_tau = diag(U_left, U_right) [E_left; E_right]  (Eq. (2)).
+///  * Each admissible pair (s, t) at its level stores a coupling matrix
+///    B_{s,t} (r_s x r_t); each inadmissible leaf pair stores a dense block.
+///
+/// The matrix is symmetric (V = U). All blocks are indexed in the cluster
+/// tree's permuted position space, following the matrix tree's CSR lists.
+/// Trees are stored level-contiguously, matching the flattened layout the
+/// GPU implementation marshals from.
+
+namespace h2sketch::h2 {
+
+class H2Matrix {
+ public:
+  std::shared_ptr<const tree::ClusterTree> tree; ///< cluster geometry
+  tree::MatrixTree mtree;                        ///< block partitioning
+
+  /// ranks[l][i]: basis rank of node i at level l.
+  std::vector<std::vector<index_t>> ranks;
+
+  /// basis[l][i]: at the leaf level, U_i (cluster_size x rank). At inner
+  /// levels, the stacked transfer [E_left; E_right]
+  /// ((rank(l+1,2i) + rank(l+1,2i+1)) x rank(l,i)).
+  std::vector<std::vector<Matrix>> basis;
+
+  /// coupling[l][e]: B for the e-th CSR entry of mtree.far[l].
+  std::vector<std::vector<Matrix>> coupling;
+
+  /// dense[e]: D for the e-th CSR entry of mtree.near_leaf.
+  std::vector<Matrix> dense;
+
+  /// skeleton[l][i]: permuted positions selected as skeleton indices for
+  /// node i at level l (size == ranks[l][i]). Produced by sketching
+  /// construction; interpolation-based constructions leave it empty.
+  std::vector<std::vector<std::vector<index_t>>> skeleton;
+
+  index_t size() const { return tree ? tree->num_points() : 0; }
+  index_t num_levels() const { return tree ? tree->num_levels() : 0; }
+  index_t leaf_level() const { return tree->leaf_level(); }
+
+  index_t rank(index_t level, index_t node) const {
+    return ranks[static_cast<size_t>(level)][static_cast<size_t>(node)];
+  }
+
+  /// Allocate empty per-level containers sized to the trees.
+  void init_structure();
+
+  /// Smallest/largest rank over all nodes at levels that carry far blocks
+  /// (the paper's "rank range" in Table II).
+  index_t min_rank() const;
+  index_t max_rank() const;
+
+  /// Exact bytes held in U/E/B/D matrices plus skeleton index lists.
+  std::size_t memory_bytes() const;
+
+  /// Structural consistency: every dimension implied by ranks, cluster
+  /// sizes and CSR lists must match. Throws on violation.
+  void validate() const;
+};
+
+} // namespace h2sketch::h2

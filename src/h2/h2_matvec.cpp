@@ -1,0 +1,165 @@
+#include "h2/h2_matvec.hpp"
+
+#include "batched/batched_gemm.hpp"
+#include "batched/bsr_gemm.hpp"
+
+namespace h2sketch::h2 {
+
+void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixView x,
+               MatrixView y) {
+  const index_t n = a.size();
+  const index_t d = x.cols;
+  H2S_CHECK(x.rows == n && y.rows == n && y.cols == d, "h2_matvec: shape mismatch");
+  const tree::ClusterTree& t = *a.tree;
+  const index_t levels = t.num_levels();
+  const index_t leaf = t.leaf_level();
+
+  set_all(y, 0.0);
+
+  // Per-level coefficient blocks xhat/yhat (rank x d per node).
+  std::vector<std::vector<Matrix>> xhat(static_cast<size_t>(levels)),
+      yhat(static_cast<size_t>(levels));
+  for (index_t l = 0; l < levels; ++l) {
+    const index_t nodes = t.nodes_at(l);
+    xhat[static_cast<size_t>(l)].resize(static_cast<size_t>(nodes));
+    yhat[static_cast<size_t>(l)].resize(static_cast<size_t>(nodes));
+    for (index_t i = 0; i < nodes; ++i) {
+      xhat[static_cast<size_t>(l)][static_cast<size_t>(i)].resize(a.rank(l, i), d);
+      yhat[static_cast<size_t>(l)][static_cast<size_t>(i)].resize(a.rank(l, i), d);
+    }
+  }
+
+  // Upward pass, leaf: xhat = U^T x(I_tau, :).
+  {
+    const auto& ub = a.basis[static_cast<size_t>(leaf)];
+    std::vector<ConstMatrixView> av, bv;
+    std::vector<MatrixView> cv;
+    for (index_t i = 0; i < t.nodes_at(leaf); ++i) {
+      if (a.rank(leaf, i) == 0) {
+        av.push_back(ConstMatrixView());
+        bv.push_back(ConstMatrixView());
+        cv.push_back(MatrixView());
+        continue;
+      }
+      av.push_back(ub[static_cast<size_t>(i)].view());
+      bv.push_back(x.row_range(t.begin(leaf, i), t.size(leaf, i)));
+      cv.push_back(xhat[static_cast<size_t>(leaf)][static_cast<size_t>(i)].view());
+    }
+    batched::batched_gemm(ctx, 1.0, av, la::Op::Trans, bv, la::Op::None, 0.0, cv);
+  }
+
+  // Upward pass, inner: xhat_tau = E_left^T xhat_l + E_right^T xhat_r.
+  for (index_t l = leaf - 1; l >= 0; --l) {
+    std::vector<ConstMatrixView> av, bv;
+    std::vector<MatrixView> cv;
+    // Two half-launches (left children then right children) so each parent
+    // coefficient block is written by one entry per launch.
+    for (int side = 0; side < 2; ++side) {
+      av.clear();
+      bv.clear();
+      cv.clear();
+      for (index_t i = 0; i < t.nodes_at(l); ++i) {
+        const Matrix& tr = a.basis[static_cast<size_t>(l)][static_cast<size_t>(i)];
+        const index_t r_left = a.rank(l + 1, 2 * i);
+        const index_t r_side = side == 0 ? r_left : a.rank(l + 1, 2 * i + 1);
+        const index_t row0 = side == 0 ? 0 : r_left;
+        const index_t r_tau = a.rank(l, i);
+        if (r_tau == 0 || r_side == 0) {
+          // Rank-0 parent or child: no contribution (xhat starts zeroed).
+          av.push_back(ConstMatrixView());
+          bv.push_back(ConstMatrixView());
+          cv.push_back(MatrixView());
+          continue;
+        }
+        av.push_back(tr.view().block(row0, 0, r_side, r_tau));
+        bv.push_back(xhat[static_cast<size_t>(l + 1)][static_cast<size_t>(2 * i + side)].view());
+        cv.push_back(xhat[static_cast<size_t>(l)][static_cast<size_t>(i)].view());
+      }
+      batched::batched_gemm(ctx, 1.0, av, la::Op::Trans, bv, la::Op::None,
+                            side == 0 ? 0.0 : 1.0, cv);
+    }
+  }
+
+  // Coupling phase: yhat[s] += B_{s,t} xhat[t] per level, conflict-free BSR.
+  for (index_t l = 0; l < levels; ++l) {
+    const auto& far = a.mtree.far[static_cast<size_t>(l)];
+    if (far.empty()) continue;
+    std::vector<ConstMatrixView> blocks, xv;
+    std::vector<MatrixView> yv;
+    for (const auto& b : a.coupling[static_cast<size_t>(l)]) blocks.push_back(b.view());
+    for (index_t i = 0; i < t.nodes_at(l); ++i) {
+      xv.push_back(xhat[static_cast<size_t>(l)][static_cast<size_t>(i)].view());
+      yv.push_back(yhat[static_cast<size_t>(l)][static_cast<size_t>(i)].view());
+    }
+    batched::bsr_gemm(ctx, 1.0, far.row_ptr, far.col, blocks, xv, yv);
+  }
+
+  // Downward pass: children accumulate E * yhat_parent.
+  for (index_t l = 0; l < leaf; ++l) {
+    std::vector<ConstMatrixView> av, bv;
+    std::vector<MatrixView> cv;
+    for (int side = 0; side < 2; ++side) {
+      av.clear();
+      bv.clear();
+      cv.clear();
+      for (index_t i = 0; i < t.nodes_at(l); ++i) {
+        const Matrix& tr = a.basis[static_cast<size_t>(l)][static_cast<size_t>(i)];
+        const index_t r_left = a.rank(l + 1, 2 * i);
+        const index_t r_side = side == 0 ? r_left : a.rank(l + 1, 2 * i + 1);
+        const index_t row0 = side == 0 ? 0 : r_left;
+        const index_t r_tau = a.rank(l, i);
+        if (r_tau == 0 || r_side == 0) {
+          av.push_back(ConstMatrixView());
+          bv.push_back(ConstMatrixView());
+          cv.push_back(MatrixView());
+          continue;
+        }
+        av.push_back(tr.view().block(row0, 0, r_side, r_tau));
+        bv.push_back(yhat[static_cast<size_t>(l)][static_cast<size_t>(i)].view());
+        cv.push_back(yhat[static_cast<size_t>(l + 1)][static_cast<size_t>(2 * i + side)].view());
+      }
+      batched::batched_gemm(ctx, 1.0, av, la::Op::None, bv, la::Op::None, 1.0, cv);
+    }
+  }
+
+  // Leaf expansion: y(I_tau, :) += U yhat_leaf.
+  {
+    const auto& ub = a.basis[static_cast<size_t>(leaf)];
+    std::vector<ConstMatrixView> av, bv;
+    std::vector<MatrixView> cv;
+    for (index_t i = 0; i < t.nodes_at(leaf); ++i) {
+      if (a.rank(leaf, i) == 0) {
+        av.push_back(ConstMatrixView());
+        bv.push_back(ConstMatrixView());
+        cv.push_back(MatrixView());
+        continue;
+      }
+      av.push_back(ub[static_cast<size_t>(i)].view());
+      bv.push_back(yhat[static_cast<size_t>(leaf)][static_cast<size_t>(i)].view());
+      cv.push_back(y.row_range(t.begin(leaf, i), t.size(leaf, i)));
+    }
+    batched::batched_gemm(ctx, 1.0, av, la::Op::None, bv, la::Op::None, 1.0, cv);
+  }
+
+  // Dense near field: y(I_tau, :) += D_{tau,b} x(I_b, :).
+  {
+    const auto& near = a.mtree.near_leaf;
+    if (!near.empty()) {
+      std::vector<ConstMatrixView> blocks, xv;
+      std::vector<MatrixView> yv;
+      for (const auto& dmat : a.dense) blocks.push_back(dmat.view());
+      for (index_t i = 0; i < t.nodes_at(leaf); ++i) {
+        xv.push_back(x.row_range(t.begin(leaf, i), t.size(leaf, i)));
+        yv.push_back(y.row_range(t.begin(leaf, i), t.size(leaf, i)));
+      }
+      batched::bsr_gemm(ctx, 1.0, near.row_ptr, near.col, blocks, xv, yv);
+    }
+  }
+}
+
+void h2_matvec(const H2Matrix& a, ConstMatrixView x, MatrixView y) {
+  batched::ExecutionContext ctx(batched::Backend::Batched);
+  h2_matvec(ctx, a, x, y);
+}
+
+} // namespace h2sketch::h2

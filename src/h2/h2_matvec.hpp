@@ -1,0 +1,42 @@
+#pragma once
+
+#include "batched/device.hpp"
+#include "h2/h2_matrix.hpp"
+#include "kernels/sampler.hpp"
+
+/// \file h2_matvec.hpp
+/// The O(N) H2 matrix-(multi)vector product: upward pass (project inputs
+/// onto cluster bases through the transfer tree), per-level coupling phase
+/// (block-sparse products with the B matrices), downward pass (expand
+/// contributions back down), and the dense near-field phase. Each phase is
+/// one batched launch per level — this is also the structure of the H2Opus
+/// matvec the paper plugs in as Kblk.
+
+namespace h2sketch::h2 {
+
+/// y = A * x with x, y (N x d) in the tree's permuted position order.
+void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixView x,
+               MatrixView y);
+
+/// Convenience overload with an internal batched context.
+void h2_matvec(const H2Matrix& a, ConstMatrixView x, MatrixView y);
+
+/// Black-box sampler backed by the fast H2 matvec: the Kblk oracle for
+/// reconstruction experiments and the error estimator.
+class H2Sampler final : public kern::MatVecSampler {
+ public:
+  /// The H2 matrix must outlive the sampler.
+  explicit H2Sampler(const H2Matrix& a) : a_(&a) {}
+
+  index_t size() const override { return a_->size(); }
+  void sample(ConstMatrixView omega, MatrixView y) override {
+    h2_matvec(ctx_, *a_, omega, y);
+    record_samples(omega.cols);
+  }
+
+ private:
+  const H2Matrix* a_;
+  batched::ExecutionContext ctx_;
+};
+
+} // namespace h2sketch::h2

@@ -1,0 +1,6 @@
+#include "h2/update_sampler.hpp"
+
+// Header-only; anchors the object file.
+namespace h2sketch::h2::detail {
+void update_sampler_anchor() {}
+} // namespace h2sketch::h2::detail

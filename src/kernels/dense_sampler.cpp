@@ -1,0 +1,35 @@
+#include "kernels/dense_sampler.hpp"
+
+#include <numeric>
+
+#include "la/blas.hpp"
+
+namespace h2sketch::kern {
+
+void DenseMatrixSampler::sample(ConstMatrixView omega, MatrixView y) {
+  H2S_CHECK(omega.rows == a_.rows && y.rows == a_.rows && omega.cols == y.cols,
+            "DenseMatrixSampler: shape mismatch");
+  la::gemm(1.0, a_, la::Op::None, omega, la::Op::None, 0.0, y);
+  record_samples(omega.cols);
+}
+
+void KernelMatVecSampler::sample(ConstMatrixView omega, MatrixView y) {
+  H2S_CHECK(omega.rows == n_ && y.rows == n_ && omega.cols == y.cols,
+            "KernelMatVecSampler: shape mismatch");
+  // Evaluate one block-row strip at a time to bound extra memory.
+  const index_t strip = 256;
+  std::vector<index_t> all_cols(static_cast<size_t>(n_));
+  std::iota(all_cols.begin(), all_cols.end(), index_t{0});
+  Matrix row_block(strip, n_);
+  for (index_t r0 = 0; r0 < n_; r0 += strip) {
+    const index_t m = std::min(strip, n_ - r0);
+    std::vector<index_t> rows(static_cast<size_t>(m));
+    std::iota(rows.begin(), rows.end(), r0);
+    MatrixView rb = row_block.view().block(0, 0, m, n_);
+    gen_.generate_block(rows, all_cols, rb);
+    la::gemm(1.0, rb, la::Op::None, omega, la::Op::None, 0.0, y.row_range(r0, m));
+  }
+  record_samples(omega.cols);
+}
+
+} // namespace h2sketch::kern

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "kernels/entry_gen.hpp"
+#include "kernels/sampler.hpp"
+
+/// \file dense_sampler.hpp
+/// O(N^2)-cost samplers: an explicit dense matrix (the paper's frontal-
+/// matrix setting, where "the sketching operator is a full N x N matrix")
+/// and an on-the-fly kernel-matrix product that avoids N^2 storage. Both
+/// serve as ground-truth oracles in tests.
+
+namespace h2sketch::kern {
+
+/// Sampler over an explicit dense (permuted) matrix.
+class DenseMatrixSampler final : public MatVecSampler {
+ public:
+  /// The view must outlive the sampler.
+  explicit DenseMatrixSampler(ConstMatrixView a) : a_(a) {
+    H2S_CHECK(a.rows == a.cols, "DenseMatrixSampler expects a square matrix");
+  }
+
+  index_t size() const override { return a_.rows; }
+  void sample(ConstMatrixView omega, MatrixView y) override;
+
+ private:
+  ConstMatrixView a_;
+};
+
+/// Sampler that evaluates kernel rows on the fly: O(N^2 d) time, O(N) extra
+/// memory. Useful as an exact oracle at sizes where storing K is wasteful.
+class KernelMatVecSampler final : public MatVecSampler {
+ public:
+  KernelMatVecSampler(const tree::ClusterTree& tree, const KernelFunction& kernel)
+      : gen_(tree, kernel), n_(tree.num_points()) {}
+
+  index_t size() const override { return n_; }
+  void sample(ConstMatrixView omega, MatrixView y) override;
+
+ private:
+  KernelEntryGenerator gen_;
+  index_t n_;
+};
+
+} // namespace h2sketch::kern

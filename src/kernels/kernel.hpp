@@ -1,0 +1,29 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+
+/// \file kernel.hpp
+/// Kernel function interface: K(x, y) for point pairs. Implementations back
+/// the paper's test problems (exponential covariance Eq. (8), Helmholtz
+/// volume-IE Eq. (9)) plus extras used by tests and the synthetic frontal
+/// matrices.
+
+namespace h2sketch::kern {
+
+/// A translation-invariant (or general) kernel evaluated on coordinate
+/// tuples of dimension `dim`.
+class KernelFunction {
+ public:
+  virtual ~KernelFunction() = default;
+
+  /// K(x, y); x and y point to `dim` coordinates each.
+  virtual real_t evaluate(const real_t* x, const real_t* y, index_t dim) const = 0;
+
+  /// Human-readable name for reports.
+  virtual std::string name() const = 0;
+};
+
+} // namespace h2sketch::kern

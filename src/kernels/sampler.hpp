@@ -1,0 +1,33 @@
+#pragma once
+
+#include "common/matrix.hpp"
+
+/// \file sampler.hpp
+/// The black-box sketching operator interface (the paper's Kblk): given a
+/// random matrix Omega (N x d), produce Y = K * Omega. The construction
+/// algorithm sees nothing of K beyond this and the entry generator.
+
+namespace h2sketch::kern {
+
+class MatVecSampler {
+ public:
+  virtual ~MatVecSampler() = default;
+
+  /// Matrix dimension N.
+  virtual index_t size() const = 0;
+
+  /// y = K * omega (omega is N x d, y is N x d). Implementations must accept
+  /// any d >= 1; repeated calls accumulate the sample count.
+  virtual void sample(ConstMatrixView omega, MatrixView y) = 0;
+
+  /// Total random vectors pushed through the operator so far — the
+  /// "total samples" statistic the paper annotates in Fig. 5.
+  index_t samples_taken() const { return samples_; }
+  void reset_sample_count() { samples_ = 0; }
+
+ protected:
+  void record_samples(index_t d) { samples_ += d; }
+  index_t samples_ = 0;
+};
+
+} // namespace h2sketch::kern

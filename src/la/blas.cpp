@@ -1,0 +1,180 @@
+#include "la/blas.hpp"
+
+#include <cmath>
+
+namespace h2sketch::la {
+
+namespace {
+
+// C += alpha * A * B, all column-major, stride-1 inner loop over rows of C.
+void gemm_nn(real_t alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  for (index_t j = 0; j < c.cols; ++j) {
+    for (index_t k = 0; k < a.cols; ++k) {
+      const real_t bkj = alpha * b(k, j);
+      if (bkj == 0.0) continue;
+      const real_t* acol = a.data + k * a.ld;
+      real_t* ccol = c.data + j * c.ld;
+      for (index_t i = 0; i < c.rows; ++i) ccol[i] += acol[i] * bkj;
+    }
+  }
+}
+
+void gemm_tn(real_t alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  // C(i,j) += alpha * sum_k A(k,i) * B(k,j): dot of two columns, stride-1.
+  for (index_t j = 0; j < c.cols; ++j) {
+    const real_t* bcol = b.data + j * b.ld;
+    for (index_t i = 0; i < c.rows; ++i) {
+      const real_t* acol = a.data + i * a.ld;
+      real_t s = 0.0;
+      for (index_t k = 0; k < a.rows; ++k) s += acol[k] * bcol[k];
+      c(i, j) += alpha * s;
+    }
+  }
+}
+
+void gemm_nt(real_t alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  // C(:,j) += alpha * sum_k A(:,k) * B(j,k)
+  for (index_t j = 0; j < c.cols; ++j) {
+    real_t* ccol = c.data + j * c.ld;
+    for (index_t k = 0; k < a.cols; ++k) {
+      const real_t bjk = alpha * b(j, k);
+      if (bjk == 0.0) continue;
+      const real_t* acol = a.data + k * a.ld;
+      for (index_t i = 0; i < c.rows; ++i) ccol[i] += acol[i] * bjk;
+    }
+  }
+}
+
+void gemm_tt(real_t alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
+  for (index_t j = 0; j < c.cols; ++j) {
+    for (index_t i = 0; i < c.rows; ++i) {
+      const real_t* acol = a.data + i * a.ld;
+      real_t s = 0.0;
+      for (index_t k = 0; k < a.rows; ++k) s += acol[k] * b(j, k);
+      c(i, j) += alpha * s;
+    }
+  }
+}
+
+} // namespace
+
+void gemm(real_t alpha, ConstMatrixView a, Op op_a, ConstMatrixView b, Op op_b, real_t beta,
+          MatrixView c) {
+  H2S_CHECK(op_rows(a, op_a) == c.rows && op_cols(b, op_b) == c.cols &&
+                op_cols(a, op_a) == op_rows(b, op_b),
+            "gemm: shape mismatch (" << op_rows(a, op_a) << "x" << op_cols(a, op_a) << ") * ("
+                                     << op_rows(b, op_b) << "x" << op_cols(b, op_b) << ") -> "
+                                     << c.rows << "x" << c.cols);
+  if (beta == 0.0) {
+    set_all(c, 0.0);
+  } else if (beta != 1.0) {
+    for (index_t j = 0; j < c.cols; ++j)
+      for (index_t i = 0; i < c.rows; ++i) c(i, j) *= beta;
+  }
+  if (c.rows == 0 || c.cols == 0 || op_cols(a, op_a) == 0 || alpha == 0.0) return;
+  if (op_a == Op::None && op_b == Op::None) gemm_nn(alpha, a, b, c);
+  else if (op_a == Op::Trans && op_b == Op::None) gemm_tn(alpha, a, b, c);
+  else if (op_a == Op::None && op_b == Op::Trans) gemm_nt(alpha, a, b, c);
+  else gemm_tt(alpha, a, b, c);
+}
+
+void gemv(real_t alpha, ConstMatrixView a, Op op_a, const_real_span x, real_t beta, real_span y) {
+  const index_t m = op_rows(a, op_a);
+  const index_t n = op_cols(a, op_a);
+  H2S_CHECK(static_cast<index_t>(x.size()) == n && static_cast<index_t>(y.size()) == m,
+            "gemv: shape mismatch");
+  ConstMatrixView xv(x.data(), n, 1, n == 0 ? 1 : n);
+  MatrixView yv(y.data(), m, 1, m == 0 ? 1 : m);
+  gemm(alpha, a, op_a, xv, Op::None, beta, yv);
+}
+
+void trsm_upper_left(ConstMatrixView r, Op op_r, MatrixView b, bool unit_diag) {
+  const index_t n = r.rows;
+  H2S_CHECK(r.rows == r.cols && b.rows == n, "trsm: shape mismatch");
+  if (op_r == Op::None) {
+    // Back substitution: solve R X = B.
+    for (index_t j = 0; j < b.cols; ++j) {
+      for (index_t i = n - 1; i >= 0; --i) {
+        real_t s = b(i, j);
+        for (index_t k = i + 1; k < n; ++k) s -= r(i, k) * b(k, j);
+        b(i, j) = unit_diag ? s : s / r(i, i);
+      }
+    }
+  } else {
+    // Forward substitution: solve R^T X = B.
+    for (index_t j = 0; j < b.cols; ++j) {
+      for (index_t i = 0; i < n; ++i) {
+        real_t s = b(i, j);
+        for (index_t k = 0; k < i; ++k) s -= r(k, i) * b(k, j);
+        b(i, j) = unit_diag ? s : s / r(i, i);
+      }
+    }
+  }
+}
+
+void cholesky(MatrixView a) {
+  const index_t n = a.rows;
+  H2S_CHECK(a.rows == a.cols, "cholesky: square matrix required");
+  for (index_t k = 0; k < n; ++k) {
+    real_t d = a(k, k);
+    for (index_t p = 0; p < k; ++p) d -= a(k, p) * a(k, p);
+    H2S_CHECK(d > 0.0, "cholesky: non-positive pivot at " << k);
+    d = std::sqrt(d);
+    a(k, k) = d;
+    for (index_t i = k + 1; i < n; ++i) {
+      real_t s = a(i, k);
+      for (index_t p = 0; p < k; ++p) s -= a(i, p) * a(k, p);
+      a(i, k) = s / d;
+    }
+  }
+}
+
+void cholesky_solve(ConstMatrixView l, MatrixView b) {
+  const index_t n = l.rows;
+  H2S_CHECK(l.rows == l.cols && b.rows == n, "cholesky_solve: shape mismatch");
+  // Forward: L z = b.
+  for (index_t j = 0; j < b.cols; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      real_t s = b(i, j);
+      for (index_t p = 0; p < i; ++p) s -= l(i, p) * b(p, j);
+      b(i, j) = s / l(i, i);
+    }
+    // Backward: L^T x = z.
+    for (index_t i = n - 1; i >= 0; --i) {
+      real_t s = b(i, j);
+      for (index_t p = i + 1; p < n; ++p) s -= l(p, i) * b(p, j);
+      b(i, j) = s / l(i, i);
+    }
+  }
+}
+
+real_t norm_f(ConstMatrixView a) {
+  real_t s = 0.0;
+  for (index_t j = 0; j < a.cols; ++j)
+    for (index_t i = 0; i < a.rows; ++i) s += a(i, j) * a(i, j);
+  return std::sqrt(s);
+}
+
+real_t norm2(const_real_span x) {
+  real_t s = 0.0;
+  for (real_t v : x) s += v * v;
+  return std::sqrt(s);
+}
+
+real_t dot(const_real_span x, const_real_span y) {
+  H2S_CHECK(x.size() == y.size(), "dot: size mismatch");
+  real_t s = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+void axpy(real_t alpha, const_real_span x, real_span y) {
+  H2S_CHECK(x.size() == y.size(), "axpy: size mismatch");
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(real_t alpha, real_span x) {
+  for (real_t& v : x) v *= alpha;
+}
+
+} // namespace h2sketch::la

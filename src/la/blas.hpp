@@ -1,0 +1,54 @@
+#pragma once
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+/// \file blas.hpp
+/// Self-contained dense BLAS-like kernels on column-major views. These are
+/// the single-threaded building blocks the batched backend loops over (the
+/// paper's CPU path wraps single-threaded BLAS in OpenMP loops; its GPU path
+/// calls MAGMA/KBLAS batched equivalents).
+
+namespace h2sketch::la {
+
+/// Transposition selector for gemm/gemv operands.
+enum class Op { None, Trans };
+
+/// Dimensions of op(A).
+inline index_t op_rows(ConstMatrixView a, Op op) { return op == Op::None ? a.rows : a.cols; }
+inline index_t op_cols(ConstMatrixView a, Op op) { return op == Op::None ? a.cols : a.rows; }
+
+/// C = alpha * op(A) * op(B) + beta * C.
+void gemm(real_t alpha, ConstMatrixView a, Op op_a, ConstMatrixView b, Op op_b, real_t beta,
+          MatrixView c);
+
+/// y = alpha * op(A) * x + beta * y.
+void gemv(real_t alpha, ConstMatrixView a, Op op_a, const_real_span x, real_t beta, real_span y);
+
+/// Solve op(R) * X = B in place for upper-triangular R (unit_diag selects an
+/// implicit unit diagonal). B has R.cols rows.
+void trsm_upper_left(ConstMatrixView r, Op op_r, MatrixView b, bool unit_diag = false);
+
+/// In-place lower Cholesky factorization A = L L^T of an SPD matrix (the
+/// strict upper triangle is left untouched). Throws on a non-positive pivot.
+void cholesky(MatrixView a);
+
+/// Solve A X = B in place given the Cholesky factor L (lower) of A.
+void cholesky_solve(ConstMatrixView l, MatrixView b);
+
+/// Frobenius norm.
+real_t norm_f(ConstMatrixView a);
+
+/// Euclidean norm of a vector.
+real_t norm2(const_real_span x);
+
+/// Dot product.
+real_t dot(const_real_span x, const_real_span y);
+
+/// y += alpha * x.
+void axpy(real_t alpha, const_real_span x, real_span y);
+
+/// x *= alpha.
+void scale(real_t alpha, real_span x);
+
+} // namespace h2sketch::la

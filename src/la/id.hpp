@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+/// \file id.hpp
+/// Interpolative decompositions (paper §II-B). The construction algorithm
+/// uses the *row* ID of the sample matrix Y_loc: Y ≈ X · Y(J, :), where J is
+/// the skeleton row set and X the interpolation operator with X(J, :) = I.
+/// X directly becomes the cluster basis U (leaf level) or the stacked
+/// transfer matrices [E1; E2] (inner levels).
+
+namespace h2sketch::la {
+
+/// Column ID: A ≈ A(:, J) * X with X (k x n), X(:, J) = I_k.
+struct ColumnID {
+  std::vector<index_t> skeleton; ///< J: selected column indices, size k
+  Matrix interp;                 ///< X: k x n interpolation matrix
+};
+
+/// Row ID: A ≈ X * A(J, :) with X (m x k), X(J, :) = I_k.
+struct RowID {
+  std::vector<index_t> skeleton; ///< J: selected row indices, size k
+  Matrix interp;                 ///< X: m x k interpolation matrix
+};
+
+/// Compute a column ID of A via tolerance-stopped CPQR (Eq. (3)):
+/// A P = Q [R1 R2] -> T = R1^{-1} R2, X = [I T] P^T.
+/// abs_tol bounds the norm of the discarded trailing block R3; max_rank < 0
+/// means unbounded.
+ColumnID column_id(ConstMatrixView a, real_t abs_tol, index_t max_rank = -1);
+
+/// Compute a row ID of A as the column ID of A^T.
+RowID row_id(ConstMatrixView a, real_t abs_tol, index_t max_rank = -1);
+
+/// Reconstruction helpers for tests: ||A - A(:,J) X|| / ||A||.
+real_t column_id_rel_error(ConstMatrixView a, const ColumnID& id);
+real_t row_id_rel_error(ConstMatrixView a, const RowID& id);
+
+} // namespace h2sketch::la

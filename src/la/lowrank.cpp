@@ -1,0 +1,56 @@
+#include "la/lowrank.hpp"
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/svd.hpp"
+
+namespace h2sketch::la {
+
+void LowRank::apply(real_t alpha, ConstMatrixView x, MatrixView y) const {
+  H2S_CHECK(x.rows == cols() && y.rows == rows() && x.cols == y.cols,
+            "LowRank::apply: shape mismatch");
+  Matrix tmp(rank(), x.cols);
+  gemm(1.0, v.view(), Op::Trans, x, Op::None, 0.0, tmp.view());
+  gemm(alpha, u.view(), Op::None, tmp.view(), Op::None, 1.0, y);
+}
+
+Matrix LowRank::densify() const {
+  Matrix d(rows(), cols());
+  gemm(1.0, u.view(), Op::None, v.view(), Op::Trans, 0.0, d.view());
+  return d;
+}
+
+real_t LowRank::entry(index_t i, index_t j) const {
+  real_t s = 0.0;
+  for (index_t k = 0; k < rank(); ++k) s += u(i, k) * v(j, k);
+  return s;
+}
+
+LowRank random_lowrank(index_t m, index_t n, index_t k, real_t scale, std::uint64_t seed) {
+  LowRank lr;
+  lr.u.resize(m, k);
+  lr.v.resize(n, k);
+  GaussianStream gu(seed), gv(seed + 0x5851f42d4c957f2dull);
+  fill_gaussian(lr.u.view(), gu);
+  fill_gaussian(lr.v.view(), gv);
+  const real_t f = scale / std::sqrt(static_cast<real_t>(std::max<index_t>(1, k)));
+  la::scale(f, real_span(lr.u.data(), static_cast<size_t>(lr.u.size())));
+  return lr;
+}
+
+LowRank truncate_to_lowrank(ConstMatrixView a, real_t rel_tol, index_t max_rank) {
+  const Svd s = jacobi_svd(a);
+  index_t k = svd_rank(s, rel_tol);
+  if (max_rank >= 0) k = std::min(k, max_rank);
+  LowRank lr;
+  lr.u.resize(a.rows, k);
+  lr.v.resize(a.cols, k);
+  for (index_t j = 0; j < k; ++j) {
+    for (index_t i = 0; i < a.rows; ++i) lr.u(i, j) = s.u(i, j) * s.sigma[static_cast<size_t>(j)];
+    for (index_t i = 0; i < a.cols; ++i) lr.v(i, j) = s.v(i, j);
+  }
+  return lr;
+}
+
+} // namespace h2sketch::la

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "common/matrix.hpp"
+#include "common/random.hpp"
+#include "common/types.hpp"
+
+/// \file lowrank.hpp
+/// Dense low-rank factor pairs K ≈ U V^T. Used for the paper's third
+/// application: updating an existing H2 matrix with a low-rank product
+/// (Fig. 5(c)) as arises in LU/multifrontal Schur-complement updates.
+
+namespace h2sketch::la {
+
+/// A rank-k product U V^T with U (m x k) and V (n x k).
+struct LowRank {
+  Matrix u;
+  Matrix v;
+
+  index_t rows() const { return u.rows(); }
+  index_t cols() const { return v.rows(); }
+  index_t rank() const { return u.cols(); }
+
+  /// Y += alpha * (U V^T) * X.
+  void apply(real_t alpha, ConstMatrixView x, MatrixView y) const;
+
+  /// Dense representation (tests / small problems).
+  Matrix densify() const;
+
+  /// Entry (i, j) = sum_k U(i,k) V(j,k).
+  real_t entry(index_t i, index_t j) const;
+};
+
+/// Random rank-k product with N(0,1)/sqrt(k) factors (bounded spectrum),
+/// scaled so that ||U V^T||_F ≈ `scale` * sqrt(m n / max(m,n)) — a generic
+/// Schur-complement-update stand-in.
+LowRank random_lowrank(index_t m, index_t n, index_t k, real_t scale, std::uint64_t seed);
+
+/// SVD-truncate a dense matrix to relative tolerance (and optional max rank).
+LowRank truncate_to_lowrank(ConstMatrixView a, real_t rel_tol, index_t max_rank = -1);
+
+} // namespace h2sketch::la

@@ -1,0 +1,163 @@
+#include "la/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace h2sketch::la {
+
+namespace {
+
+/// Build a Householder reflector for x (length len, stride 1):
+/// H = I - tau v v^T with v(0) = 1 zeroes x(1:). On exit x(0) = beta (the R
+/// diagonal) and x(1:) holds v(1:). Returns tau (0 when x(1:) is zero).
+real_t make_reflector(real_t* x, index_t len) {
+  if (len <= 1) return 0.0;
+  real_t xnorm = 0.0;
+  for (index_t i = 1; i < len; ++i) xnorm += x[i] * x[i];
+  if (xnorm == 0.0) return 0.0;
+  const real_t alpha = x[0];
+  const real_t beta = -std::copysign(std::sqrt(alpha * alpha + xnorm), alpha);
+  const real_t tau = (beta - alpha) / beta;
+  const real_t inv = 1.0 / (alpha - beta);
+  for (index_t i = 1; i < len; ++i) x[i] *= inv;
+  x[0] = beta;
+  return tau;
+}
+
+/// Apply H = I - tau v v^T (v packed below a(k,k), v(0)=1) to A(k:, j0:).
+void apply_reflector(MatrixView a, index_t k, real_t tau, index_t j0) {
+  if (tau == 0.0) return;
+  const index_t m = a.rows;
+  for (index_t j = j0; j < a.cols; ++j) {
+    real_t* col = a.data + j * a.ld;
+    const real_t* v = a.data + k * a.ld; // column k holds the reflector
+    real_t w = col[k];
+    for (index_t i = k + 1; i < m; ++i) w += v[i] * col[i];
+    w *= tau;
+    col[k] -= w;
+    for (index_t i = k + 1; i < m; ++i) col[i] -= w * v[i];
+  }
+}
+
+} // namespace
+
+void householder_qr(MatrixView a, std::vector<real_t>& tau) {
+  const index_t kmax = std::min(a.rows, a.cols);
+  tau.assign(static_cast<size_t>(kmax), 0.0);
+  for (index_t k = 0; k < kmax; ++k) {
+    tau[static_cast<size_t>(k)] = make_reflector(a.data + k + k * a.ld, a.rows - k);
+    apply_reflector(a, k, tau[static_cast<size_t>(k)], k + 1);
+  }
+}
+
+void apply_q_transpose(ConstMatrixView qr, const std::vector<real_t>& tau, MatrixView b) {
+  H2S_CHECK(b.rows == qr.rows, "apply_q_transpose: shape mismatch");
+  const index_t k = static_cast<index_t>(tau.size());
+  // Q^T = H_{k-1} ... H_1 H_0 applied in order 0..k-1.
+  for (index_t t = 0; t < k; ++t) {
+    if (tau[static_cast<size_t>(t)] == 0.0) continue;
+    for (index_t j = 0; j < b.cols; ++j) {
+      real_t* col = b.data + j * b.ld;
+      const real_t* v = qr.data + t * qr.ld;
+      real_t w = col[t];
+      for (index_t i = t + 1; i < qr.rows; ++i) w += v[i] * col[i];
+      w *= tau[static_cast<size_t>(t)];
+      col[t] -= w;
+      for (index_t i = t + 1; i < qr.rows; ++i) col[i] -= w * v[i];
+    }
+  }
+}
+
+void apply_q(ConstMatrixView qr, const std::vector<real_t>& tau, MatrixView b) {
+  H2S_CHECK(b.rows == qr.rows, "apply_q: shape mismatch");
+  const index_t k = static_cast<index_t>(tau.size());
+  // Q = H_0 H_1 ... H_{k-1} applied in reverse order.
+  for (index_t t = k - 1; t >= 0; --t) {
+    if (tau[static_cast<size_t>(t)] == 0.0) continue;
+    for (index_t j = 0; j < b.cols; ++j) {
+      real_t* col = b.data + j * b.ld;
+      const real_t* v = qr.data + t * qr.ld;
+      real_t w = col[t];
+      for (index_t i = t + 1; i < qr.rows; ++i) w += v[i] * col[i];
+      w *= tau[static_cast<size_t>(t)];
+      col[t] -= w;
+      for (index_t i = t + 1; i < qr.rows; ++i) col[i] -= w * v[i];
+    }
+  }
+}
+
+Matrix form_q(ConstMatrixView qr, const std::vector<real_t>& tau, index_t k) {
+  H2S_CHECK(k <= qr.rows, "form_q: too many columns requested");
+  Matrix q(qr.rows, k);
+  for (index_t j = 0; j < k; ++j) q(j, j) = 1.0;
+  apply_q(qr, tau, q.view());
+  return q;
+}
+
+real_t min_abs_r_diag(ConstMatrixView a) {
+  if (a.rows == 0 || a.cols == 0) return 0.0;
+  Matrix work = to_matrix(a);
+  std::vector<real_t> tau;
+  householder_qr(work.view(), tau);
+  const index_t kmax = std::min(a.rows, a.cols);
+  real_t mn = std::abs(work(0, 0));
+  for (index_t i = 1; i < kmax; ++i) mn = std::min(mn, std::abs(work(i, i)));
+  return mn;
+}
+
+Cpqr cpqr(MatrixView a, std::vector<real_t>& tau, real_t abs_tol, index_t max_rank) {
+  const index_t m = a.rows, n = a.cols;
+  const index_t kcap = max_rank < 0 ? std::min(m, n) : std::min({m, n, max_rank});
+  Cpqr out;
+  out.piv.resize(static_cast<size_t>(n));
+  for (index_t j = 0; j < n; ++j) out.piv[static_cast<size_t>(j)] = j;
+  tau.assign(static_cast<size_t>(std::min(m, n)), 0.0);
+
+  // Column norms, with originals kept for the downdating safeguard.
+  std::vector<real_t> cnorm(static_cast<size_t>(n)), corig(static_cast<size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    real_t s = 0.0;
+    for (index_t i = 0; i < m; ++i) s += a(i, j) * a(i, j);
+    cnorm[static_cast<size_t>(j)] = std::sqrt(s);
+    corig[static_cast<size_t>(j)] = cnorm[static_cast<size_t>(j)];
+  }
+
+  for (index_t k = 0; k < kcap; ++k) {
+    // Pivot: largest remaining column norm.
+    index_t jmax = k;
+    for (index_t j = k + 1; j < n; ++j)
+      if (cnorm[static_cast<size_t>(j)] > cnorm[static_cast<size_t>(jmax)]) jmax = j;
+    if (cnorm[static_cast<size_t>(jmax)] <= abs_tol) {
+      out.rank = k;
+      return out;
+    }
+    if (jmax != k) {
+      for (index_t i = 0; i < m; ++i) std::swap(a(i, k), a(i, jmax));
+      std::swap(cnorm[static_cast<size_t>(k)], cnorm[static_cast<size_t>(jmax)]);
+      std::swap(corig[static_cast<size_t>(k)], corig[static_cast<size_t>(jmax)]);
+      std::swap(out.piv[static_cast<size_t>(k)], out.piv[static_cast<size_t>(jmax)]);
+    }
+    tau[static_cast<size_t>(k)] = make_reflector(a.data + k + k * a.ld, m - k);
+    apply_reflector(a, k, tau[static_cast<size_t>(k)], k + 1);
+    // Downdate remaining column norms; recompute on cancellation.
+    for (index_t j = k + 1; j < n; ++j) {
+      real_t& cn = cnorm[static_cast<size_t>(j)];
+      if (cn == 0.0) continue;
+      const real_t t = std::abs(a(k, j)) / cn;
+      real_t f = std::max(0.0, (1.0 - t) * (1.0 + t));
+      const real_t rel = cn / corig[static_cast<size_t>(j)];
+      if (f * rel * rel < 1e-14) {
+        real_t s = 0.0;
+        for (index_t i = k + 1; i < m; ++i) s += a(i, j) * a(i, j);
+        cn = std::sqrt(s);
+        corig[static_cast<size_t>(j)] = cn;
+      } else {
+        cn *= std::sqrt(f);
+      }
+    }
+  }
+  out.rank = kcap;
+  return out;
+}
+
+} // namespace h2sketch::la

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+/// \file svd.hpp
+/// One-sided Jacobi SVD. Used by the low-rank tools (truncation of update
+/// products) and as an independent oracle in tests; not on the construction
+/// hot path.
+
+namespace h2sketch::la {
+
+/// Thin SVD A = U diag(sigma) V^T for any m x n A (rank r = min(m, n)).
+struct Svd {
+  Matrix u;                  ///< m x r, orthonormal columns
+  std::vector<real_t> sigma; ///< r singular values, descending
+  Matrix v;                  ///< n x r, orthonormal columns
+};
+
+/// One-sided Jacobi SVD; converges to machine precision for the modest block
+/// sizes used in hierarchical matrices.
+Svd jacobi_svd(ConstMatrixView a);
+
+/// Numerical rank at relative tolerance: #{ sigma_i > tol * sigma_0 }.
+index_t svd_rank(const Svd& s, real_t rel_tol);
+
+} // namespace h2sketch::la

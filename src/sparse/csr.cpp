@@ -1,0 +1,70 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace h2sketch::sparse {
+
+void CsrMatrix::spmv(const_real_span x, real_span y) const {
+  H2S_CHECK(static_cast<index_t>(x.size()) == n && static_cast<index_t>(y.size()) == n,
+            "spmv: size mismatch");
+  for (index_t i = 0; i < n; ++i) {
+    real_t s = 0.0;
+    for (index_t e = row_ptr[static_cast<size_t>(i)]; e < row_ptr[static_cast<size_t>(i + 1)]; ++e)
+      s += val[static_cast<size_t>(e)] * x[static_cast<size_t>(col[static_cast<size_t>(e)])];
+    y[static_cast<size_t>(i)] = s;
+  }
+}
+
+real_t CsrMatrix::at(index_t i, index_t j) const {
+  const auto lo = col.begin() + row_ptr[static_cast<size_t>(i)];
+  const auto hi = col.begin() + row_ptr[static_cast<size_t>(i + 1)];
+  const auto it = std::lower_bound(lo, hi, j);
+  if (it != hi && *it == j) return val[static_cast<size_t>(it - col.begin())];
+  return 0.0;
+}
+
+Matrix CsrMatrix::densify() const {
+  Matrix d(n, n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t e = row_ptr[static_cast<size_t>(i)]; e < row_ptr[static_cast<size_t>(i + 1)]; ++e)
+      d(i, col[static_cast<size_t>(e)]) += val[static_cast<size_t>(e)];
+  return d;
+}
+
+bool CsrMatrix::is_symmetric() const {
+  for (index_t i = 0; i < n; ++i)
+    for (index_t e = row_ptr[static_cast<size_t>(i)]; e < row_ptr[static_cast<size_t>(i + 1)]; ++e)
+      if (at(col[static_cast<size_t>(e)], i) != val[static_cast<size_t>(e)]) return false;
+  return true;
+}
+
+CsrMatrix CsrMatrix::from_triplets(index_t n,
+                                   std::vector<std::tuple<index_t, index_t, real_t>> triplets) {
+  std::sort(triplets.begin(), triplets.end(), [](const auto& a, const auto& b) {
+    return std::tie(std::get<0>(a), std::get<1>(a)) < std::tie(std::get<0>(b), std::get<1>(b));
+  });
+  CsrMatrix m;
+  m.n = n;
+  m.row_ptr.assign(static_cast<size_t>(n + 1), 0);
+  for (size_t k = 0; k < triplets.size();) {
+    const auto [i, j, v0] = triplets[k];
+    H2S_CHECK(i >= 0 && i < n && j >= 0 && j < n, "triplet out of range");
+    real_t v = 0.0;
+    size_t k2 = k;
+    while (k2 < triplets.size() && std::get<0>(triplets[k2]) == i &&
+           std::get<1>(triplets[k2]) == j) {
+      v += std::get<2>(triplets[k2]);
+      ++k2;
+    }
+    m.col.push_back(j);
+    m.val.push_back(v);
+    ++m.row_ptr[static_cast<size_t>(i + 1)];
+    k = k2;
+  }
+  for (index_t i = 0; i < n; ++i)
+    m.row_ptr[static_cast<size_t>(i + 1)] += m.row_ptr[static_cast<size_t>(i)];
+  return m;
+}
+
+} // namespace h2sketch::sparse

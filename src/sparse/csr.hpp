@@ -1,0 +1,42 @@
+#pragma once
+
+#include <tuple>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+/// \file csr.hpp
+/// Compressed-sparse-row matrices: the substrate for the paper's third test
+/// problem (frontal matrices of a multifrontal factorization of a uniform-
+/// grid 3D Poisson problem).
+
+namespace h2sketch::sparse {
+
+/// Square CSR matrix with sorted column indices per row.
+struct CsrMatrix {
+  index_t n = 0;
+  std::vector<index_t> row_ptr; ///< size n+1
+  std::vector<index_t> col;
+  std::vector<real_t> val;
+
+  index_t nnz() const { return static_cast<index_t>(col.size()); }
+
+  /// y = A x.
+  void spmv(const_real_span x, real_span y) const;
+
+  /// Entry (i, j) or 0 if absent (binary search over the sorted row).
+  real_t at(index_t i, index_t j) const;
+
+  /// Dense copy (tests, small n).
+  Matrix densify() const;
+
+  /// Structural + value symmetry check (exact equality).
+  bool is_symmetric() const;
+
+  /// Build from (i, j, v) triplets; duplicate entries are summed.
+  static CsrMatrix from_triplets(index_t n,
+                                 std::vector<std::tuple<index_t, index_t, real_t>> triplets);
+};
+
+} // namespace h2sketch::sparse

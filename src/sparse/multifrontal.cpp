@@ -1,0 +1,190 @@
+#include "sparse/multifrontal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/blas.hpp"
+
+namespace h2sketch::sparse {
+
+namespace {
+
+/// Partial right-looking Cholesky: eliminate the leading ns variables of F;
+/// on exit the trailing block holds the Schur complement (symmetric).
+void partial_cholesky(MatrixView f, index_t ns) {
+  const index_t nf = f.rows;
+  for (index_t k = 0; k < ns; ++k) {
+    const real_t d = f(k, k);
+    H2S_CHECK(d > 0.0, "multifrontal: non-positive pivot");
+    const real_t inv = 1.0 / std::sqrt(d);
+    for (index_t i = k; i < nf; ++i) f(i, k) *= inv;
+    for (index_t j = k + 1; j < nf; ++j) {
+      const real_t ljk = f(j, k);
+      if (ljk == 0.0) continue;
+      for (index_t i = j; i < nf; ++i) f(i, j) -= f(i, k) * ljk;
+    }
+  }
+  // Symmetrize the trailing block (only the lower half was updated).
+  for (index_t j = ns; j < nf; ++j)
+    for (index_t i = j + 1; i < nf; ++i) f(j, i) = f(i, j);
+}
+
+} // namespace
+
+MultifrontalResult multifrontal_root_front(const CsrMatrix& a, const Grid& g,
+                                           const MultifrontalOptions& opts) {
+  MultifrontalResult out;
+  out.tree = nested_dissection(g, opts.max_leaf);
+  H2S_CHECK(out.tree.total_vars() == a.n, "dissection must cover all variables");
+  const index_t nnodes = static_cast<index_t>(out.tree.nodes.size());
+  out.fronts.resize(static_cast<size_t>(nnodes));
+
+  // Subtree variable sets (for boundary computation), bottom-up.
+  std::vector<std::vector<index_t>> subtree(static_cast<size_t>(nnodes));
+  for (index_t id : out.tree.postorder) {
+    const NdNode& node = out.tree.nodes[static_cast<size_t>(id)];
+    auto& sv = subtree[static_cast<size_t>(id)];
+    sv = node.vars;
+    if (!node.is_leaf()) {
+      const auto& l = subtree[static_cast<size_t>(node.left)];
+      const auto& r = subtree[static_cast<size_t>(node.right)];
+      sv.insert(sv.end(), l.begin(), l.end());
+      sv.insert(sv.end(), r.begin(), r.end());
+    }
+    std::sort(sv.begin(), sv.end());
+  }
+
+  // Boundary of each node: neighbours of its subtree outside the subtree.
+  std::vector<uint8_t> in_subtree(static_cast<size_t>(a.n), 0);
+  for (index_t id = 0; id < nnodes; ++id) {
+    const auto& sv = subtree[static_cast<size_t>(id)];
+    for (index_t v : sv) in_subtree[static_cast<size_t>(v)] = 1;
+    std::vector<index_t> bd;
+    for (index_t v : sv)
+      for (index_t e = a.row_ptr[static_cast<size_t>(v)]; e < a.row_ptr[static_cast<size_t>(v + 1)];
+           ++e) {
+        const index_t u = a.col[static_cast<size_t>(e)];
+        if (!in_subtree[static_cast<size_t>(u)]) bd.push_back(u);
+      }
+    std::sort(bd.begin(), bd.end());
+    bd.erase(std::unique(bd.begin(), bd.end()), bd.end());
+    out.fronts[static_cast<size_t>(id)].sep = out.tree.nodes[static_cast<size_t>(id)].vars;
+    out.fronts[static_cast<size_t>(id)].bd = std::move(bd);
+    for (index_t v : sv) in_subtree[static_cast<size_t>(v)] = 0;
+  }
+
+  // Numeric sweep. updates[id] holds the child's Schur matrix until consumed.
+  std::vector<Matrix> updates(static_cast<size_t>(nnodes));
+  std::vector<index_t> local(static_cast<size_t>(a.n), -1);
+  if (opts.keep_factors) out.factors.resize(static_cast<size_t>(nnodes));
+
+  for (index_t id : out.tree.postorder) {
+    const Front& fr = out.fronts[static_cast<size_t>(id)];
+    const index_t ns = static_cast<index_t>(fr.sep.size());
+    const index_t nb = static_cast<index_t>(fr.bd.size());
+    const index_t nf = ns + nb;
+    std::vector<index_t> fvars = fr.sep;
+    fvars.insert(fvars.end(), fr.bd.begin(), fr.bd.end());
+    for (index_t i = 0; i < nf; ++i) local[static_cast<size_t>(fvars[static_cast<size_t>(i)])] = i;
+
+    Matrix f(nf, nf);
+    // Original entries involving an eliminated variable.
+    for (index_t i = 0; i < ns; ++i) {
+      const index_t v = fvars[static_cast<size_t>(i)];
+      for (index_t e = a.row_ptr[static_cast<size_t>(v)]; e < a.row_ptr[static_cast<size_t>(v + 1)];
+           ++e) {
+        const index_t u = a.col[static_cast<size_t>(e)];
+        const index_t lu = local[static_cast<size_t>(u)];
+        if (lu < 0) continue;
+        f(i, lu) = a.val[static_cast<size_t>(e)];
+        f(lu, i) = a.val[static_cast<size_t>(e)];
+      }
+    }
+    // Extend-add children updates.
+    const NdNode& node = out.tree.nodes[static_cast<size_t>(id)];
+    if (!node.is_leaf()) {
+      for (index_t child : {node.left, node.right}) {
+        const Front& cf = out.fronts[static_cast<size_t>(child)];
+        Matrix& up = updates[static_cast<size_t>(child)];
+        for (size_t j = 0; j < cf.bd.size(); ++j) {
+          const index_t lj = local[static_cast<size_t>(cf.bd[j])];
+          H2S_CHECK(lj >= 0, "extend-add target missing from parent front");
+          for (size_t i = 0; i < cf.bd.size(); ++i) {
+            const index_t li = local[static_cast<size_t>(cf.bd[i])];
+            f(li, lj) += up(static_cast<index_t>(i), static_cast<index_t>(j));
+          }
+        }
+        up = Matrix(); // release
+      }
+    }
+
+    if (id == out.tree.root) {
+      H2S_CHECK(nb == 0, "root front must have empty boundary");
+      out.root_front = to_matrix(f.view());
+      out.root_vars = fr.sep;
+      if (opts.keep_factors) {
+        partial_cholesky(f.view(), ns);
+        out.factors[static_cast<size_t>(id)] = std::move(f);
+      }
+    } else {
+      partial_cholesky(f.view(), ns);
+      updates[static_cast<size_t>(id)] = to_matrix(f.view().block(ns, ns, nb, nb));
+      if (opts.keep_factors) out.factors[static_cast<size_t>(id)] = std::move(f);
+    }
+    for (index_t i = 0; i < nf; ++i) local[static_cast<size_t>(fvars[static_cast<size_t>(i)])] = -1;
+  }
+  return out;
+}
+
+void MultifrontalResult::solve(const_real_span b, real_span x) const {
+  H2S_CHECK(!factors.empty() && !factors[static_cast<size_t>(tree.root)].empty(),
+            "solve requires keep_factors = true at factorization time");
+  H2S_CHECK(b.size() == x.size(), "solve: size mismatch");
+  std::vector<real_t> w(b.begin(), b.end());
+
+  // Forward: L z = b, fronts bottom-up. Each front solves its L11 block and
+  // pushes the L21 contribution onto its boundary variables.
+  for (index_t id : tree.postorder) {
+    const Front& fr = fronts[static_cast<size_t>(id)];
+    const Matrix& f = factors[static_cast<size_t>(id)];
+    const index_t ns = static_cast<index_t>(fr.sep.size());
+    const index_t nb = static_cast<index_t>(fr.bd.size());
+    std::vector<real_t> y(static_cast<size_t>(ns));
+    for (index_t k = 0; k < ns; ++k) {
+      real_t s = w[static_cast<size_t>(fr.sep[static_cast<size_t>(k)])];
+      for (index_t p = 0; p < k; ++p) s -= f(k, p) * y[static_cast<size_t>(p)];
+      y[static_cast<size_t>(k)] = s / f(k, k);
+    }
+    for (index_t k = 0; k < ns; ++k)
+      w[static_cast<size_t>(fr.sep[static_cast<size_t>(k)])] = y[static_cast<size_t>(k)];
+    for (index_t i = 0; i < nb; ++i) {
+      real_t s = 0.0;
+      for (index_t k = 0; k < ns; ++k) s += f(ns + i, k) * y[static_cast<size_t>(k)];
+      w[static_cast<size_t>(fr.bd[static_cast<size_t>(i)])] -= s;
+    }
+  }
+
+  // Backward: L^T x = z, fronts top-down (ancestor variables solve first).
+  for (auto it = tree.postorder.rbegin(); it != tree.postorder.rend(); ++it) {
+    const index_t id = *it;
+    const Front& fr = fronts[static_cast<size_t>(id)];
+    const Matrix& f = factors[static_cast<size_t>(id)];
+    const index_t ns = static_cast<index_t>(fr.sep.size());
+    const index_t nb = static_cast<index_t>(fr.bd.size());
+    std::vector<real_t> rhs(static_cast<size_t>(ns));
+    for (index_t k = 0; k < ns; ++k) {
+      real_t s = w[static_cast<size_t>(fr.sep[static_cast<size_t>(k)])];
+      for (index_t i = 0; i < nb; ++i)
+        s -= f(ns + i, k) * x[static_cast<size_t>(fr.bd[static_cast<size_t>(i)])];
+      rhs[static_cast<size_t>(k)] = s;
+    }
+    for (index_t k = ns - 1; k >= 0; --k) {
+      real_t s = rhs[static_cast<size_t>(k)];
+      for (index_t p = k + 1; p < ns; ++p)
+        s -= f(p, k) * x[static_cast<size_t>(fr.sep[static_cast<size_t>(p)])];
+      x[static_cast<size_t>(fr.sep[static_cast<size_t>(k)])] = s / f(k, k);
+    }
+  }
+}
+
+} // namespace h2sketch::sparse

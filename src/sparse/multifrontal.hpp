@@ -1,0 +1,51 @@
+#pragma once
+
+#include "sparse/nested_dissection.hpp"
+
+/// \file multifrontal.hpp
+/// Dense-front multifrontal partial Cholesky over a nested-dissection tree.
+/// Each front assembles the original entries of its eliminated variables
+/// plus the children's update (Schur) matrices via extend-add, eliminates
+/// its variables, and passes the update up. The fully-assembled *root*
+/// frontal matrix — the Schur complement of the top separator — is the
+/// dense matrix the paper's frontal-matrix experiments compress.
+
+namespace h2sketch::sparse {
+
+struct Front {
+  std::vector<index_t> sep; ///< variables eliminated at this front
+  std::vector<index_t> bd;  ///< boundary variables (stay in the parent)
+};
+
+struct MultifrontalOptions {
+  index_t max_leaf = 64; ///< nested-dissection subdomain size
+  /// Keep every front's factor panels so the result supports solve().
+  bool keep_factors = false;
+};
+
+struct MultifrontalResult {
+  NdTree tree;
+  std::vector<Front> fronts; ///< parallel to tree.nodes
+
+  /// Assembled root frontal matrix (original entries + all extend-adds),
+  /// i.e. the Schur complement of the root separator onto itself, before
+  /// elimination.
+  Matrix root_front;
+  /// Grid indices of the root separator (row/col order of root_front).
+  std::vector<index_t> root_vars;
+
+  /// Factor panels per front (only with keep_factors): the partially
+  /// factored front [L11 0; L21 I] with the root fully factored.
+  std::vector<Matrix> factors;
+
+  /// Solve A x = b using the stored factors (requires keep_factors).
+  /// Forward substitution walks fronts bottom-up, backward top-down.
+  void solve(const_real_span b, real_span x) const;
+};
+
+/// Run nested dissection + numeric multifrontal partial factorization.
+/// The matrix must be SPD on the grid (the Poisson operators are).
+MultifrontalResult multifrontal_root_front(const CsrMatrix& a, const Grid& g,
+                                           const MultifrontalOptions& opts);
+
+} // namespace h2sketch::sparse

@@ -1,0 +1,75 @@
+#include "sparse/nested_dissection.hpp"
+
+namespace h2sketch::sparse {
+
+namespace {
+
+struct Box {
+  index_t lo[3];
+  index_t hi[3]; ///< exclusive
+  index_t volume() const { return (hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2]); }
+  index_t widest() const {
+    index_t best = 0, w = hi[0] - lo[0];
+    for (index_t d = 1; d < 3; ++d)
+      if (hi[d] - lo[d] > w) {
+        w = hi[d] - lo[d];
+        best = d;
+      }
+    return best;
+  }
+};
+
+std::vector<index_t> box_vars(const Grid& g, const Box& b) {
+  std::vector<index_t> v;
+  v.reserve(static_cast<size_t>(b.volume()));
+  for (index_t k = b.lo[2]; k < b.hi[2]; ++k)
+    for (index_t j = b.lo[1]; j < b.hi[1]; ++j)
+      for (index_t i = b.lo[0]; i < b.hi[0]; ++i) v.push_back(i + j * g.nx + k * g.nx * g.ny);
+  return v;
+}
+
+index_t build(const Grid& g, const Box& box, index_t max_leaf, index_t parent, NdTree& t) {
+  const index_t id = static_cast<index_t>(t.nodes.size());
+  t.nodes.emplace_back();
+  t.nodes[static_cast<size_t>(id)].parent = parent;
+
+  const index_t axis = box.widest();
+  if (box.volume() <= max_leaf || box.hi[axis] - box.lo[axis] < 3) {
+    t.nodes[static_cast<size_t>(id)].vars = box_vars(g, box);
+    t.postorder.push_back(id);
+    return id;
+  }
+  const index_t mid = (box.lo[axis] + box.hi[axis]) / 2;
+  Box sep = box, left = box, right = box;
+  sep.lo[axis] = mid;
+  sep.hi[axis] = mid + 1;
+  left.hi[axis] = mid;
+  right.lo[axis] = mid + 1;
+
+  const index_t lid = build(g, left, max_leaf, id, t);
+  const index_t rid = build(g, right, max_leaf, id, t);
+  NdNode& node = t.nodes[static_cast<size_t>(id)];
+  node.left = lid;
+  node.right = rid;
+  node.vars = box_vars(g, sep);
+  t.postorder.push_back(id);
+  return id;
+}
+
+} // namespace
+
+index_t NdTree::total_vars() const {
+  index_t n = 0;
+  for (const auto& node : nodes) n += static_cast<index_t>(node.vars.size());
+  return n;
+}
+
+NdTree nested_dissection(const Grid& g, index_t max_leaf) {
+  H2S_CHECK(g.size() > 0, "empty grid");
+  NdTree t;
+  Box whole{{0, 0, 0}, {g.nx, g.ny, g.nz}};
+  t.root = build(g, whole, max_leaf, -1, t);
+  return t;
+}
+
+} // namespace h2sketch::sparse

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+#include "sparse/poisson.hpp"
+
+/// \file nested_dissection.hpp
+/// Geometric nested dissection of a uniform grid: recursive mid-plane
+/// separators down to small interior subdomains. Drives the multifrontal
+/// factorization whose root front is the paper's frontal-matrix workload.
+
+namespace h2sketch::sparse {
+
+/// One node of the separator tree. Internal nodes own a separator plane;
+/// leaves own an entire small subdomain.
+struct NdNode {
+  std::vector<index_t> vars; ///< grid indices owned by this node
+  index_t left = -1;
+  index_t right = -1;
+  index_t parent = -1;
+  bool is_leaf() const { return left < 0; }
+};
+
+struct NdTree {
+  std::vector<NdNode> nodes;
+  index_t root = -1;
+  /// Children-before-parents traversal order.
+  std::vector<index_t> postorder;
+
+  /// Every grid variable appears in exactly one node.
+  index_t total_vars() const;
+};
+
+/// Build the separator tree; subdomains with at most `max_leaf` points stop
+/// recursing.
+NdTree nested_dissection(const Grid& g, index_t max_leaf);
+
+} // namespace h2sketch::sparse

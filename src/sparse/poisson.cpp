@@ -1,0 +1,46 @@
+#include "sparse/poisson.hpp"
+
+namespace h2sketch::sparse {
+
+void Grid::coords(index_t p, real_t* xyz) const {
+  const index_t i = p % nx;
+  const index_t j = (p / nx) % ny;
+  const index_t k = p / (nx * ny);
+  xyz[0] = nx > 1 ? static_cast<real_t>(i) / static_cast<real_t>(nx - 1) : 0.0;
+  xyz[1] = ny > 1 ? static_cast<real_t>(j) / static_cast<real_t>(ny - 1) : 0.0;
+  xyz[2] = nz > 1 ? static_cast<real_t>(k) / static_cast<real_t>(nz - 1) : 0.0;
+}
+
+CsrMatrix poisson_matrix(const Grid& g) {
+  const index_t dim = g.is_3d() ? 3 : 2;
+  std::vector<std::tuple<index_t, index_t, real_t>> trip;
+  trip.reserve(static_cast<size_t>(g.size() * (2 * dim + 1)));
+  for (index_t k = 0; k < g.nz; ++k) {
+    for (index_t j = 0; j < g.ny; ++j) {
+      for (index_t i = 0; i < g.nx; ++i) {
+        const index_t p = i + j * g.nx + k * g.nx * g.ny;
+        trip.emplace_back(p, p, 2.0 * static_cast<real_t>(dim));
+        if (i > 0) trip.emplace_back(p, p - 1, -1.0);
+        if (i + 1 < g.nx) trip.emplace_back(p, p + 1, -1.0);
+        if (j > 0) trip.emplace_back(p, p - g.nx, -1.0);
+        if (j + 1 < g.ny) trip.emplace_back(p, p + g.nx, -1.0);
+        if (k > 0) trip.emplace_back(p, p - g.nx * g.ny, -1.0);
+        if (k + 1 < g.nz) trip.emplace_back(p, p + g.nx * g.ny, -1.0);
+      }
+    }
+  }
+  return CsrMatrix::from_triplets(g.size(), std::move(trip));
+}
+
+geo::PointCloud grid_points(const Grid& g, const_index_span subset) {
+  const index_t dim = g.is_3d() ? 3 : 2;
+  geo::PointCloud pc(static_cast<index_t>(subset.size()), dim);
+  for (size_t s = 0; s < subset.size(); ++s) {
+    real_t xyz[3];
+    g.coords(subset[s], xyz);
+    for (index_t d = 0; d < dim; ++d) pc.coord(static_cast<index_t>(s), d) = xyz[d];
+  }
+  return pc;
+}
+
+} // namespace h2sketch::sparse

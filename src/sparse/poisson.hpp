@@ -1,0 +1,31 @@
+#pragma once
+
+#include "geometry/point_cloud.hpp"
+#include "sparse/csr.hpp"
+
+/// \file poisson.hpp
+/// Finite-difference Poisson operators on uniform grids with homogeneous
+/// Dirichlet boundary (5-point stencil in 2D, 7-point in 3D): the sparse
+/// matrices whose multifrontal fronts the paper compresses.
+
+namespace h2sketch::sparse {
+
+/// Uniform grid description. Grid point (i, j, k) has linear index
+/// i + j*nx + k*nx*ny.
+struct Grid {
+  index_t nx = 0, ny = 0, nz = 1; ///< nz == 1 means 2D
+  index_t size() const { return nx * ny * nz; }
+  bool is_3d() const { return nz > 1; }
+
+  /// Coordinates of a grid point in the unit cube.
+  void coords(index_t p, real_t* xyz) const;
+};
+
+/// Assemble the (SPD) Dirichlet Laplacian: diagonal 2*dim, off-diagonal -1
+/// per grid neighbour.
+CsrMatrix poisson_matrix(const Grid& g);
+
+/// Point cloud of a subset of grid points (for clustering fronts).
+geo::PointCloud grid_points(const Grid& g, const_index_span subset);
+
+} // namespace h2sketch::sparse

@@ -1,0 +1,17 @@
+#include "sparse/synthetic_front.hpp"
+
+namespace h2sketch::sparse {
+
+SyntheticFront make_synthetic_front(index_t nx, index_t ny) {
+  SyntheticFront f{geo::plane_grid(nx, ny, 0.5), 0.0};
+  // Diagonal ~ 2/h keeps the diagonal dominant at the grid scale, like the
+  // discrete DtN operator.
+  f.diagonal = 2.0 * static_cast<real_t>(std::max(nx, ny));
+  return f;
+}
+
+kern::Laplace3dKernel synthetic_front_kernel(const SyntheticFront& f) {
+  return kern::Laplace3dKernel(f.diagonal);
+}
+
+} // namespace h2sketch::sparse

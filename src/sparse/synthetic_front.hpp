@@ -1,0 +1,31 @@
+#pragma once
+
+#include "geometry/point_cloud.hpp"
+#include "kernels/kernels.hpp"
+#include "sparse/csr.hpp"
+
+/// \file synthetic_front.hpp
+/// Synthetic stand-in for large multifrontal root fronts. The root front of
+/// a 3D Poisson problem is the Schur complement of the top separator plane —
+/// a dense discretization of a Dirichlet-to-Neumann-type boundary operator,
+/// whose admissible blocks have the same smooth-kernel rank structure as a
+/// 1/r kernel on the plane. For front sizes whose parent grids would be too
+/// expensive to factor exactly, we substitute that kernel matrix on the
+/// separator geometry (see DESIGN.md substitution table); small fronts are
+/// produced exactly by multifrontal_root_front and validate the substitute's
+/// rank behaviour in tests.
+
+namespace h2sketch::sparse {
+
+struct SyntheticFront {
+  geo::PointCloud points; ///< nx x ny separator-plane grid points (3D coords)
+  real_t diagonal;        ///< self term, scaled like the DtN diagonal ~ 2/h
+};
+
+/// Build the synthetic separator plane with nx x ny points.
+SyntheticFront make_synthetic_front(index_t nx, index_t ny);
+
+/// The kernel to evaluate entries of the synthetic front.
+kern::Laplace3dKernel synthetic_front_kernel(const SyntheticFront& f);
+
+} // namespace h2sketch::sparse

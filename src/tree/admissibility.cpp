@@ -1,0 +1,6 @@
+#include "tree/admissibility.hpp"
+
+// Admissibility is header-only; this anchors the object file.
+namespace h2sketch::tree::detail {
+void admissibility_anchor() {}
+} // namespace h2sketch::tree::detail

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "geometry/bounding_box.hpp"
+
+/// \file admissibility.hpp
+/// The general admissibility condition (paper Eq. (1)):
+///   adm(s, t) = 1  iff  (D(s) + D(t)) / 2 <= eta * Dist(s, t).
+/// eta <= 0.5 is "strong" admissibility (H2 with separated interaction
+/// lists); the Weak variant admits every distinct same-level pair, which
+/// turns Algorithm 1 into Martinsson's HSS construction (used as the
+/// STRUMPACK-HSS baseline).
+
+namespace h2sketch::tree {
+
+enum class AdmissibilityType {
+  General, ///< Eq. (1) with parameter eta
+  Weak     ///< every off-diagonal same-level pair is admissible (HODLR/HSS)
+};
+
+struct Admissibility {
+  AdmissibilityType type = AdmissibilityType::General;
+  real_t eta = 0.7;
+
+  /// Decide compressibility of the block (s, t). `same_node` marks the
+  /// diagonal pair, which is never admissible.
+  bool admissible(const geo::BoundingBox& s, const geo::BoundingBox& t, bool same_node) const {
+    if (same_node) return false;
+    if (type == AdmissibilityType::Weak) return true;
+    return 0.5 * (s.diameter() + t.diameter()) <= eta * s.distance(t);
+  }
+
+  /// Convenience factories.
+  static Admissibility general(real_t eta) { return {AdmissibilityType::General, eta}; }
+  static Admissibility weak() { return {AdmissibilityType::Weak, 0.0}; }
+};
+
+} // namespace h2sketch::tree

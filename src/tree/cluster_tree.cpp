@@ -1,0 +1,28 @@
+#include "tree/cluster_tree.hpp"
+
+namespace h2sketch::tree {
+
+ClusterTree ClusterTree::build(PointCloud points, index_t leaf_size) {
+  ClusterTree t;
+  t.clustering_ = geo::build_kd_clustering(points, leaf_size);
+  t.points_ = std::move(points);
+  return t;
+}
+
+ClusterTree ClusterTree::from_parts(PointCloud points, geo::KdClustering clustering) {
+  H2S_CHECK(static_cast<index_t>(clustering.perm.size()) == points.size(),
+            "from_parts: clustering does not match point count");
+  ClusterTree t;
+  t.clustering_ = std::move(clustering);
+  t.points_ = std::move(points);
+  return t;
+}
+
+index_t ClusterTree::max_leaf_size() const {
+  const index_t l = leaf_level();
+  index_t mx = 0;
+  for (index_t i = 0; i < nodes_at(l); ++i) mx = std::max(mx, size(l, i));
+  return mx;
+}
+
+} // namespace h2sketch::tree

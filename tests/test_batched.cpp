@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "batched/batched_gemm.hpp"
+#include "batched/batched_id.hpp"
+#include "batched/batched_qr.hpp"
+#include "batched/batched_rand.hpp"
+#include "batched/batched_transpose.hpp"
+#include "batched/bsr_gemm.hpp"
+#include "common/random.hpp"
+
+namespace h2sketch::batched {
+namespace {
+
+Matrix random_matrix(index_t m, index_t n, std::uint64_t seed) {
+  Matrix a(m, n);
+  SmallRng rng(seed);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) a(i, j) = rng.next_gaussian();
+  return a;
+}
+
+class BackendTest : public ::testing::TestWithParam<Backend> {};
+
+TEST(ExecutionContext, LaunchAccountingPerBackend) {
+  ExecutionContext batched(Backend::Batched);
+  batched.run_batch(10, [](index_t) {});
+  EXPECT_EQ(batched.kernel_launches(), 1);
+
+  ExecutionContext naive(Backend::Naive);
+  naive.run_batch(10, [](index_t) {});
+  EXPECT_EQ(naive.kernel_launches(), 10);
+
+  batched.run_batch(0, [](index_t) {});
+  EXPECT_EQ(batched.kernel_launches(), 1); // empty batch: no launch
+  batched.reset_counters();
+  EXPECT_EQ(batched.kernel_launches(), 0);
+}
+
+TEST_P(BackendTest, BatchedGemmMatchesPerEntryGemm) {
+  ExecutionContext ctx(GetParam());
+  // Variable sizes, including an empty entry.
+  const std::vector<std::array<index_t, 3>> dims = {{4, 5, 3}, {7, 2, 6}, {0, 3, 2}, {1, 1, 1}};
+  std::vector<Matrix> as, bs, cs, refs;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    as.push_back(random_matrix(dims[i][0], dims[i][2], 10 + i));
+    bs.push_back(random_matrix(dims[i][2], dims[i][1], 20 + i));
+    cs.push_back(random_matrix(dims[i][0], dims[i][1], 30 + i));
+    refs.push_back(to_matrix(cs.back().view()));
+  }
+  std::vector<ConstMatrixView> av, bv;
+  std::vector<MatrixView> cv;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    av.push_back(as[i].view());
+    bv.push_back(bs[i].view());
+    cv.push_back(cs[i].view());
+  }
+  batched_gemm(ctx, 2.0, av, la::Op::None, bv, la::Op::None, 1.0, cv);
+  for (size_t i = 0; i < dims.size(); ++i) {
+    la::gemm(2.0, as[i].view(), la::Op::None, bs[i].view(), la::Op::None, 1.0, refs[i].view());
+    EXPECT_LT(max_abs_diff(cs[i].view(), refs[i].view()), 1e-13);
+  }
+}
+
+TEST_P(BackendTest, BatchedMinRDiagMatchesSingle) {
+  ExecutionContext ctx(GetParam());
+  std::vector<Matrix> mats;
+  mats.push_back(random_matrix(10, 4, 1));
+  mats.push_back(random_matrix(3, 8, 2));
+  mats.push_back(Matrix(5, 5)); // zero matrix
+  std::vector<ConstMatrixView> views;
+  for (auto& m : mats) views.push_back(m.view());
+  std::vector<real_t> out(mats.size());
+  batched_min_r_diag(ctx, views, out);
+  for (size_t i = 0; i < mats.size(); ++i)
+    EXPECT_DOUBLE_EQ(out[i], la::min_abs_r_diag(mats[i].view()));
+}
+
+TEST_P(BackendTest, BatchedRowIdMatchesSingle) {
+  ExecutionContext ctx(GetParam());
+  std::vector<Matrix> mats;
+  mats.push_back(random_matrix(12, 6, 3));
+  mats.push_back(random_matrix(5, 9, 4));
+  std::vector<ConstMatrixView> views;
+  for (auto& m : mats) views.push_back(m.view());
+  std::vector<la::RowID> out(mats.size());
+  batched_row_id(ctx, views, 1e-10, -1, out);
+  for (size_t i = 0; i < mats.size(); ++i) {
+    const la::RowID ref = la::row_id(mats[i].view(), 1e-10, -1);
+    EXPECT_EQ(out[i].skeleton, ref.skeleton);
+    EXPECT_LT(max_abs_diff(out[i].interp.view(), ref.interp.view()), 1e-14);
+  }
+}
+
+TEST_P(BackendTest, BatchedTranspose) {
+  ExecutionContext ctx(GetParam());
+  Matrix a = random_matrix(4, 7, 5);
+  Matrix b = random_matrix(3, 2, 6);
+  Matrix at(7, 4), bt(2, 3);
+  std::vector<ConstMatrixView> in = {a.view(), b.view()};
+  std::vector<MatrixView> out = {at.view(), bt.view()};
+  batched_transpose(ctx, in, out);
+  for (index_t i = 0; i < 4; ++i)
+    for (index_t j = 0; j < 7; ++j) EXPECT_EQ(at(j, i), a(i, j));
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 2; ++j) EXPECT_EQ(bt(j, i), b(i, j));
+}
+
+TEST_P(BackendTest, BatchedGatherRows) {
+  ExecutionContext ctx(GetParam());
+  Matrix a = random_matrix(6, 3, 7);
+  Matrix out(2, 3);
+  std::vector<std::vector<index_t>> rows = {{5, 0}};
+  std::vector<ConstMatrixView> in = {a.view()};
+  std::vector<MatrixView> dst = {out.view()};
+  batched_gather_rows(ctx, in, rows, dst);
+  for (index_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(out(0, j), a(5, j));
+    EXPECT_EQ(out(1, j), a(0, j));
+  }
+}
+
+TEST_P(BackendTest, FillGaussianIdenticalAcrossBackends) {
+  // Counter-based RNG: the backend (and hence parallelization) must not
+  // change the generated values.
+  ExecutionContext ctx(GetParam());
+  GaussianStream stream(99);
+  Matrix a(64, 8);
+  batched_fill_gaussian(ctx, a.view(), stream, 1234);
+  Matrix ref(64, 8);
+  fill_gaussian(ref.view(), stream, 1234);
+  EXPECT_EQ(max_abs_diff(a.view(), ref.view()), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, BackendTest,
+                         ::testing::Values(Backend::Naive, Backend::Batched));
+
+/// Random CSR block pattern over `rows` x `cols` nodes with uniform block
+/// dims; reference result computed densely.
+struct BsrFixture {
+  std::vector<index_t> row_ptr, col;
+  std::vector<Matrix> block_store;
+  std::vector<Matrix> x_store, y_store, y_ref;
+  std::vector<ConstMatrixView> blocks, xv;
+  std::vector<MatrixView> yv;
+
+  BsrFixture(index_t rows, index_t cols, index_t bm, index_t bn, index_t ncols,
+             real_t density, std::uint64_t seed) {
+    SmallRng rng(seed);
+    row_ptr.push_back(0);
+    for (index_t r = 0; r < rows; ++r) {
+      for (index_t c = 0; c < cols; ++c)
+        if (rng.next_real() < density) col.push_back(c);
+      row_ptr.push_back(static_cast<index_t>(col.size()));
+    }
+    for (size_t e = 0; e < col.size(); ++e)
+      block_store.push_back(random_matrix(bm, bn, seed + 100 + e));
+    for (index_t c = 0; c < cols; ++c) x_store.push_back(random_matrix(bn, ncols, seed + 500 + c));
+    for (index_t r = 0; r < rows; ++r) {
+      y_store.push_back(random_matrix(bm, ncols, seed + 900 + r));
+      y_ref.push_back(to_matrix(y_store.back().view()));
+    }
+    for (auto& b : block_store) blocks.push_back(b.view());
+    for (auto& x : x_store) xv.push_back(x.view());
+    for (auto& y : y_store) yv.push_back(y.view());
+  }
+
+  void reference(real_t alpha) {
+    for (size_t r = 0; r + 1 < row_ptr.size(); ++r)
+      for (index_t e = row_ptr[r]; e < row_ptr[r + 1]; ++e)
+        la::gemm(alpha, block_store[static_cast<size_t>(e)].view(), la::Op::None,
+                 x_store[static_cast<size_t>(col[static_cast<size_t>(e)])].view(), la::Op::None,
+                 1.0, y_ref[r].view());
+  }
+};
+
+TEST_P(BackendTest, BsrGemmMatchesDenseReference) {
+  ExecutionContext ctx(GetParam());
+  BsrFixture f(6, 5, 4, 3, 2, 0.5, 42);
+  f.reference(-1.0);
+  bsr_gemm(ctx, -1.0, f.row_ptr, f.col, f.blocks, f.xv, f.yv);
+  for (size_t r = 0; r < f.y_store.size(); ++r)
+    EXPECT_LT(max_abs_diff(f.y_store[r].view(), f.y_ref[r].view()), 1e-12);
+}
+
+TEST(BsrGemm, LaunchCountIsMaxBlocksPerRow) {
+  ExecutionContext ctx(Backend::Batched);
+  BsrFixture f(8, 8, 3, 3, 2, 0.4, 7);
+  index_t max_row = 0;
+  for (size_t r = 0; r + 1 < f.row_ptr.size(); ++r)
+    max_row = std::max(max_row, f.row_ptr[r + 1] - f.row_ptr[r]);
+  const index_t sub = bsr_gemm(ctx, 1.0, f.row_ptr, f.col, f.blocks, f.xv, f.yv);
+  EXPECT_EQ(sub, max_row);
+  EXPECT_EQ(ctx.kernel_launches(), max_row); // one launch per sub-batch
+}
+
+TEST(BsrGemm, EmptyPatternIsNoop) {
+  ExecutionContext ctx(Backend::Batched);
+  std::vector<index_t> row_ptr = {0, 0, 0};
+  Matrix y0(3, 2), y1(3, 2);
+  std::vector<MatrixView> yv = {y0.view(), y1.view()};
+  const index_t sub = bsr_gemm(ctx, 1.0, row_ptr, {}, {}, {}, yv);
+  EXPECT_EQ(sub, 0);
+  EXPECT_EQ(ctx.kernel_launches(), 0);
+}
+
+TEST(BsrGemm, RaggedRowsHandled) {
+  // Rows with 0, 1 and 3 blocks; block dims vary per entry.
+  ExecutionContext ctx(Backend::Batched);
+  std::vector<index_t> row_ptr = {0, 0, 1, 4};
+  std::vector<index_t> col = {2, 0, 1, 2};
+  // Row block heights: y0 2x2, y1 3x2, y2 4x2. Column widths: x0 2, x1 3, x2 5.
+  std::vector<index_t> row_m = {2, 3, 4}, col_n = {2, 3, 5};
+  std::vector<Matrix> bl;
+  bl.push_back(random_matrix(3, 5, 1)); // (1,2)
+  bl.push_back(random_matrix(4, 2, 2)); // (2,0)
+  bl.push_back(random_matrix(4, 3, 3)); // (2,1)
+  bl.push_back(random_matrix(4, 5, 4)); // (2,2)
+  std::vector<Matrix> xs, ys, yr;
+  for (index_t c = 0; c < 3; ++c) xs.push_back(random_matrix(col_n[static_cast<size_t>(c)], 2, 5 + c));
+  for (index_t r = 0; r < 3; ++r) {
+    ys.push_back(Matrix(row_m[static_cast<size_t>(r)], 2));
+    yr.push_back(Matrix(row_m[static_cast<size_t>(r)], 2));
+  }
+  std::vector<ConstMatrixView> bv, xv;
+  std::vector<MatrixView> yv;
+  for (auto& b : bl) bv.push_back(b.view());
+  for (auto& x : xs) xv.push_back(x.view());
+  for (auto& y : ys) yv.push_back(y.view());
+  bsr_gemm(ctx, 1.0, row_ptr, col, bv, xv, yv);
+  la::gemm(1.0, bl[0].view(), la::Op::None, xs[2].view(), la::Op::None, 1.0, yr[1].view());
+  la::gemm(1.0, bl[1].view(), la::Op::None, xs[0].view(), la::Op::None, 1.0, yr[2].view());
+  la::gemm(1.0, bl[2].view(), la::Op::None, xs[1].view(), la::Op::None, 1.0, yr[2].view());
+  la::gemm(1.0, bl[3].view(), la::Op::None, xs[2].view(), la::Op::None, 1.0, yr[2].view());
+  for (size_t r = 0; r < 3; ++r)
+    EXPECT_LT(max_abs_diff(ys[r].view(), yr[r].view()), 1e-12);
+  EXPECT_EQ(la::norm_f(ys[0].view()), 0.0);
+}
+
+TEST(BsrGemm, NaiveAndBatchedProduceIdenticalResults) {
+  BsrFixture f1(5, 4, 3, 3, 2, 0.6, 9);
+  BsrFixture f2(5, 4, 3, 3, 2, 0.6, 9);
+  ExecutionContext cb(Backend::Batched), cn(Backend::Naive);
+  bsr_gemm(cb, 1.0, f1.row_ptr, f1.col, f1.blocks, f1.xv, f1.yv);
+  bsr_gemm(cn, 1.0, f2.row_ptr, f2.col, f2.blocks, f2.xv, f2.yv);
+  for (size_t r = 0; r < f1.y_store.size(); ++r)
+    EXPECT_EQ(max_abs_diff(f1.y_store[r].view(), f2.y_store[r].view()), 0.0);
+  EXPECT_GE(cn.kernel_launches(), cb.kernel_launches());
+}
+
+} // namespace
+} // namespace h2sketch::batched

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "geometry/bounding_box.hpp"
+#include "geometry/point_cloud.hpp"
+
+namespace h2sketch::geo {
+namespace {
+
+TEST(PointCloud, UniformRandomCubeInRange) {
+  const PointCloud pc = uniform_random_cube(500, 3, 1);
+  EXPECT_EQ(pc.size(), 500);
+  EXPECT_EQ(pc.dim(), 3);
+  for (index_t i = 0; i < pc.size(); ++i)
+    for (index_t d = 0; d < 3; ++d) {
+      EXPECT_GE(pc.coord(i, d), 0.0);
+      EXPECT_LT(pc.coord(i, d), 1.0);
+    }
+}
+
+TEST(PointCloud, UniformGridSpacingAndCount) {
+  const PointCloud pc = uniform_grid(4, 2);
+  EXPECT_EQ(pc.size(), 16);
+  EXPECT_DOUBLE_EQ(pc.coord(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(pc.coord(1, 0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(pc.coord(15, 0), 1.0);
+  EXPECT_DOUBLE_EQ(pc.coord(15, 1), 1.0);
+}
+
+TEST(PointCloud, UniformGrid3D) {
+  const PointCloud pc = uniform_grid(3, 3);
+  EXPECT_EQ(pc.size(), 27);
+  // Last point is the far corner.
+  for (index_t d = 0; d < 3; ++d) EXPECT_DOUBLE_EQ(pc.coord(26, d), 1.0);
+}
+
+TEST(PointCloud, PlaneGridIsPlanar) {
+  const PointCloud pc = plane_grid(5, 4, 0.25);
+  EXPECT_EQ(pc.size(), 20);
+  for (index_t i = 0; i < pc.size(); ++i) EXPECT_DOUBLE_EQ(pc.coord(i, 2), 0.25);
+}
+
+TEST(PointCloud, SpherePointsOnUnitSphere) {
+  const PointCloud pc = sphere_surface(200);
+  for (index_t i = 0; i < pc.size(); ++i) {
+    real_t r2 = 0;
+    for (index_t d = 0; d < 3; ++d) r2 += pc.coord(i, d) * pc.coord(i, d);
+    EXPECT_NEAR(std::sqrt(r2), 1.0, 1e-12);
+  }
+}
+
+TEST(PointCloud, Distance) {
+  PointCloud pc(2, 3);
+  pc.coord(1, 0) = 3.0;
+  pc.coord(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(pc.distance(0, 1), 5.0);
+}
+
+TEST(BoundingBox, OfPointsIsTight) {
+  PointCloud pc(3, 2);
+  pc.coord(0, 0) = -1.0;
+  pc.coord(1, 0) = 2.0;
+  pc.coord(2, 1) = 5.0;
+  std::vector<index_t> perm = {0, 1, 2};
+  const BoundingBox b = BoundingBox::of_points(pc, perm, 0, 3);
+  EXPECT_DOUBLE_EQ(b.lo[0], -1.0);
+  EXPECT_DOUBLE_EQ(b.hi[0], 2.0);
+  EXPECT_DOUBLE_EQ(b.lo[1], 0.0);
+  EXPECT_DOUBLE_EQ(b.hi[1], 5.0);
+  for (index_t i = 0; i < 3; ++i) EXPECT_TRUE(b.contains(pc, i));
+}
+
+TEST(BoundingBox, SubrangeRespectsPermutation) {
+  PointCloud pc(4, 1);
+  for (index_t i = 0; i < 4; ++i) pc.coord(i, 0) = static_cast<real_t>(i);
+  std::vector<index_t> perm = {3, 1, 0, 2};
+  const BoundingBox b = BoundingBox::of_points(pc, perm, 0, 2); // points 3 and 1
+  EXPECT_DOUBLE_EQ(b.lo[0], 1.0);
+  EXPECT_DOUBLE_EQ(b.hi[0], 3.0);
+}
+
+TEST(BoundingBox, DiameterIsDiagonalLength) {
+  BoundingBox b;
+  b.dim = 3;
+  b.hi = {3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(b.diameter(), 5.0);
+}
+
+TEST(BoundingBox, DistanceZeroWhenOverlapping) {
+  BoundingBox a, b;
+  a.dim = b.dim = 2;
+  a.hi = {2, 2, 0};
+  b.lo = {1, 1, 0};
+  b.hi = {3, 3, 0};
+  EXPECT_DOUBLE_EQ(a.distance(b), 0.0);
+}
+
+TEST(BoundingBox, DistanceBetweenSeparatedBoxes) {
+  BoundingBox a, b;
+  a.dim = b.dim = 2;
+  a.hi = {1, 1, 0};
+  b.lo = {4, 5, 0};
+  b.hi = {6, 6, 0};
+  EXPECT_DOUBLE_EQ(a.distance(b), 5.0); // gap (3, 4)
+  EXPECT_DOUBLE_EQ(b.distance(a), 5.0); // symmetric
+}
+
+TEST(BoundingBox, WidestDim) {
+  BoundingBox b;
+  b.dim = 3;
+  b.hi = {1.0, 5.0, 2.0};
+  EXPECT_EQ(b.widest_dim(), 1);
+}
+
+} // namespace
+} // namespace h2sketch::geo

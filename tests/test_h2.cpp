@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "h2/cheb_construction.hpp"
+#include "h2/h2_dense.hpp"
+#include "h2/h2_entry_eval.hpp"
+#include "h2/h2_matvec.hpp"
+#include "h2/update_sampler.hpp"
+#include "kernels/dense_sampler.hpp"
+#include "kernels/kernels.hpp"
+#include "la/blas.hpp"
+
+namespace h2sketch::h2 {
+namespace {
+
+/// Dense kernel matrix in permuted space, the ground truth.
+Matrix dense_kernel_matrix(const tree::ClusterTree& t, const kern::KernelFunction& k) {
+  const index_t n = t.num_points();
+  kern::KernelEntryGenerator gen(t, k);
+  std::vector<index_t> all(static_cast<size_t>(n));
+  for (index_t i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+  Matrix kd(n, n);
+  gen.generate_block(all, all, kd.view());
+  return kd;
+}
+
+struct ChebCase {
+  index_t n;
+  index_t dim;
+  index_t leaf;
+  index_t q;
+  real_t eta;
+  real_t expected_err; ///< loose bound on relative Frobenius error
+  std::uint64_t seed;
+};
+
+class ChebH2 : public ::testing::TestWithParam<ChebCase> {
+ protected:
+  void SetUp() override {
+    const auto p = GetParam();
+    tree_ = std::make_shared<tree::ClusterTree>(
+        tree::ClusterTree::build(geo::uniform_random_cube(p.n, p.dim, p.seed), p.leaf));
+    kernel_ = std::make_unique<kern::ExponentialKernel>(0.2);
+    a_ = build_cheb_h2(tree_, tree::Admissibility::general(p.eta), *kernel_, p.q);
+  }
+  std::shared_ptr<tree::ClusterTree> tree_;
+  std::unique_ptr<kern::ExponentialKernel> kernel_;
+  H2Matrix a_;
+};
+
+TEST_P(ChebH2, DensifyApproximatesKernelMatrix) {
+  const Matrix kd = dense_kernel_matrix(*tree_, *kernel_);
+  const Matrix ad = densify(a_);
+  const real_t err = la::norm_f(
+      [&] {
+        Matrix d = to_matrix(ad.view());
+        la::gemm(-1.0, kd.view(), la::Op::None, Matrix::identity(kd.rows()).view(), la::Op::None,
+                 1.0, d.view());
+        return d;
+      }()
+          .view()) /
+      la::norm_f(kd.view());
+  EXPECT_LT(err, GetParam().expected_err);
+}
+
+TEST_P(ChebH2, MatvecMatchesDensify) {
+  const Matrix ad = densify(a_);
+  const index_t n = tree_->num_points();
+  Matrix x(n, 3), y(n, 3), ref(n, 3);
+  fill_gaussian(x.view(), GaussianStream(11));
+  h2_matvec(a_, x.view(), y.view());
+  la::gemm(1.0, ad.view(), la::Op::None, x.view(), la::Op::None, 0.0, ref.view());
+  EXPECT_LT(max_abs_diff(y.view(), ref.view()), 1e-10 * la::norm_f(ad.view()));
+}
+
+TEST_P(ChebH2, EntryEvalMatchesDensify) {
+  const Matrix ad = densify(a_);
+  const H2EntryGenerator gen(a_);
+  const index_t n = tree_->num_points();
+  SmallRng rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    const index_t i = rng.next_index(n), j = rng.next_index(n);
+    EXPECT_NEAR(gen.entry(i, j), ad(i, j), 1e-11) << "(" << i << "," << j << ")";
+  }
+}
+
+TEST_P(ChebH2, BlockEntryEvalMatchesDensify) {
+  const Matrix ad = densify(a_);
+  const H2EntryGenerator gen(a_);
+  const index_t n = tree_->num_points();
+  SmallRng rng(17);
+  std::vector<index_t> rows, cols;
+  for (int i = 0; i < 7; ++i) rows.push_back(rng.next_index(n));
+  for (int j = 0; j < 5; ++j) cols.push_back(rng.next_index(n));
+  Matrix out(7, 5);
+  gen.generate_block(rows, cols, out.view());
+  for (index_t i = 0; i < 7; ++i)
+    for (index_t j = 0; j < 5; ++j)
+      EXPECT_NEAR(out(i, j), ad(rows[static_cast<size_t>(i)], cols[static_cast<size_t>(j)]), 1e-11);
+}
+
+TEST_P(ChebH2, ValidatePassesAndMemoryIsAccounted) {
+  a_.validate();
+  EXPECT_GT(a_.memory_bytes(), 0u);
+  EXPECT_EQ(a_.max_rank(), static_cast<index_t>(std::pow(GetParam().q, GetParam().dim)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsEtaDims, ChebH2,
+    ::testing::Values(ChebCase{256, 3, 32, 4, 0.7, 2e-3, 1}, ChebCase{256, 3, 32, 5, 0.7, 5e-4, 2},
+                      ChebCase{300, 2, 32, 5, 0.7, 1e-4, 3}, ChebCase{200, 3, 32, 4, 0.5, 1e-3, 4},
+                      ChebCase{128, 1, 16, 6, 0.7, 1e-7, 5}));
+
+TEST(ChebH2Single, HelmholtzKernelAlsoCompresses) {
+  auto tr = std::make_shared<tree::ClusterTree>(
+      tree::ClusterTree::build(geo::uniform_random_cube(256, 3, 21), 32));
+  kern::HelmholtzCosKernel k(3.0);
+  const H2Matrix a = build_cheb_h2(tr, tree::Admissibility::general(0.7), k, 5);
+  const Matrix kd = dense_kernel_matrix(*tr, k);
+  const Matrix ad = densify(a);
+  Matrix diff = to_matrix(ad.view());
+  for (index_t j = 0; j < diff.cols(); ++j)
+    for (index_t i = 0; i < diff.rows(); ++i) diff(i, j) -= kd(i, j);
+  EXPECT_LT(la::norm_f(diff.view()) / la::norm_f(kd.view()), 5e-3);
+}
+
+TEST(H2Sampler, CountsSamplesAndMatchesMatvec) {
+  auto tr = std::make_shared<tree::ClusterTree>(
+      tree::ClusterTree::build(geo::uniform_random_cube(200, 3, 22), 32));
+  kern::ExponentialKernel k(0.2);
+  const H2Matrix a = build_cheb_h2(tr, tree::Admissibility::general(0.7), k, 4);
+  H2Sampler s(a);
+  EXPECT_EQ(s.size(), 200);
+  Matrix omega(200, 5), y(200, 5), ref(200, 5);
+  fill_gaussian(omega.view(), GaussianStream(23));
+  s.sample(omega.view(), y.view());
+  h2_matvec(a, omega.view(), ref.view());
+  EXPECT_EQ(max_abs_diff(y.view(), ref.view()), 0.0);
+  EXPECT_EQ(s.samples_taken(), 5);
+}
+
+TEST(UpdatedH2, SamplerAndEntryGenAreConsistent) {
+  auto tr = std::make_shared<tree::ClusterTree>(
+      tree::ClusterTree::build(geo::uniform_random_cube(150, 3, 24), 32));
+  kern::ExponentialKernel k(0.2);
+  const H2Matrix a = build_cheb_h2(tr, tree::Admissibility::general(0.7), k, 4);
+  const la::LowRank lr = la::random_lowrank(150, 150, 8, 0.5, 99);
+
+  UpdatedH2Sampler sampler(a, lr);
+  UpdatedH2EntryGenerator gen(a, lr);
+
+  // Dense reference: densify(a) + lr.
+  Matrix ref = densify(a);
+  const Matrix lrd = lr.densify();
+  for (index_t j = 0; j < 150; ++j)
+    for (index_t i = 0; i < 150; ++i) ref(i, j) += lrd(i, j);
+
+  Matrix omega(150, 3), y(150, 3), yref(150, 3);
+  fill_gaussian(omega.view(), GaussianStream(25));
+  sampler.sample(omega.view(), y.view());
+  la::gemm(1.0, ref.view(), la::Op::None, omega.view(), la::Op::None, 0.0, yref.view());
+  EXPECT_LT(max_abs_diff(y.view(), yref.view()), 1e-10);
+
+  SmallRng rng(26);
+  for (int trial = 0; trial < 100; ++trial) {
+    const index_t i = rng.next_index(150), j = rng.next_index(150);
+    Matrix out(1, 1);
+    std::vector<index_t> ri = {i}, cj = {j};
+    gen.generate_block(ri, cj, out.view());
+    EXPECT_NEAR(out(0, 0), ref(i, j), 1e-11);
+  }
+}
+
+TEST(H2Matrix, SingleLevelDenseOnlyMatrixWorks) {
+  // N small enough that the tree is a single node: everything is dense.
+  auto tr = std::make_shared<tree::ClusterTree>(
+      tree::ClusterTree::build(geo::uniform_random_cube(40, 3, 27), 64));
+  kern::ExponentialKernel k(0.2);
+  const H2Matrix a = build_cheb_h2(tr, tree::Admissibility::general(0.7), k, 3);
+  EXPECT_FALSE(a.mtree.has_any_far());
+  const Matrix kd = dense_kernel_matrix(*tr, k);
+  const Matrix ad = densify(a);
+  EXPECT_LT(max_abs_diff(ad.view(), kd.view()), 1e-14);
+  Matrix x(40, 2), y(40, 2), ref(40, 2);
+  fill_gaussian(x.view(), GaussianStream(28));
+  h2_matvec(a, x.view(), y.view());
+  la::gemm(1.0, kd.view(), la::Op::None, x.view(), la::Op::None, 0.0, ref.view());
+  EXPECT_LT(max_abs_diff(y.view(), ref.view()), 1e-12);
+}
+
+TEST(H2Matrix, MemoryGrowsWithProblemSize) {
+  kern::ExponentialKernel k(0.2);
+  std::size_t prev = 0;
+  for (index_t n : {256, 512, 1024}) {
+    auto tr = std::make_shared<tree::ClusterTree>(
+        tree::ClusterTree::build(geo::uniform_random_cube(n, 3, 29), 32));
+    const H2Matrix a = build_cheb_h2(tr, tree::Admissibility::general(0.7), k, 3);
+    EXPECT_GT(a.memory_bytes(), prev);
+    prev = a.memory_bytes();
+  }
+}
+
+} // namespace
+} // namespace h2sketch::h2

@@ -1,0 +1,94 @@
+#include "h2/h2_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.hpp"
+#include "core/construction.hpp"
+#include "h2/cheb_construction.hpp"
+#include "h2/h2_dense.hpp"
+#include "h2/h2_matvec.hpp"
+#include "kernels/dense_sampler.hpp"
+#include "kernels/kernels.hpp"
+#include "la/blas.hpp"
+
+namespace h2sketch::h2 {
+namespace {
+
+using tree::Admissibility;
+using tree::ClusterTree;
+
+H2Matrix make_cheb(index_t n, std::uint64_t seed) {
+  auto tr = std::make_shared<ClusterTree>(
+      ClusterTree::build(geo::uniform_random_cube(n, 2, seed), 16));
+  kern::ExponentialKernel k(0.2);
+  return build_cheb_h2(tr, Admissibility::general(0.7), k, 3);
+}
+
+H2Matrix make_sketched(index_t n, std::uint64_t seed) {
+  auto tr = std::make_shared<ClusterTree>(
+      ClusterTree::build(geo::uniform_random_cube(n, 2, seed), 16));
+  kern::Matern32Kernel k(0.3);
+  kern::KernelMatVecSampler sampler(*tr, k);
+  kern::KernelEntryGenerator gen(*tr, k);
+  core::ConstructionOptions opts;
+  opts.tol = 1e-7;
+  return core::construct_h2(tr, Admissibility::general(0.7), sampler, gen, opts).matrix;
+}
+
+TEST(H2Io, RoundTripPreservesChebMatrixExactly) {
+  const H2Matrix a = make_cheb(300, 81);
+  std::stringstream ss;
+  save_h2(ss, a);
+  const H2Matrix b = load_h2(ss);
+  EXPECT_EQ(a.memory_bytes(), b.memory_bytes());
+  EXPECT_EQ(max_abs_diff(densify(a).view(), densify(b).view()), 0.0);
+}
+
+TEST(H2Io, RoundTripPreservesSketchBuiltMatrixAndMatvec) {
+  const H2Matrix a = make_sketched(400, 82);
+  std::stringstream ss;
+  save_h2(ss, a);
+  const H2Matrix b = load_h2(ss);
+  b.validate();
+  // Skeleton index sets survive.
+  EXPECT_EQ(a.skeleton, b.skeleton);
+  // Matvec is bit-identical.
+  Matrix x(400, 2), ya(400, 2), yb(400, 2);
+  fill_gaussian(x.view(), GaussianStream(83));
+  h2_matvec(a, x.view(), ya.view());
+  h2_matvec(b, x.view(), yb.view());
+  EXPECT_EQ(max_abs_diff(ya.view(), yb.view()), 0.0);
+}
+
+TEST(H2Io, FileRoundTrip) {
+  const H2Matrix a = make_cheb(200, 84);
+  const std::string path = "h2io_test.bin";
+  save_h2_file(path, a);
+  const H2Matrix b = load_h2_file(path);
+  EXPECT_EQ(max_abs_diff(densify(a).view(), densify(b).view()), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(H2Io, BadMagicThrows) {
+  std::stringstream ss;
+  ss << "this is not an h2 matrix";
+  EXPECT_THROW(load_h2(ss), std::runtime_error);
+}
+
+TEST(H2Io, TruncatedStreamThrows) {
+  const H2Matrix a = make_cheb(200, 85);
+  std::stringstream ss;
+  save_h2(ss, a);
+  std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_h2(cut), std::runtime_error);
+}
+
+TEST(H2Io, MissingFileThrows) {
+  EXPECT_THROW(load_h2_file("/nonexistent/path/matrix.bin"), std::runtime_error);
+}
+
+} // namespace
+} // namespace h2sketch::h2

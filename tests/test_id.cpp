@@ -1,0 +1,140 @@
+#include "la/id.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.hpp"
+#include "la/blas.hpp"
+
+namespace h2sketch::la {
+namespace {
+
+Matrix random_matrix(index_t m, index_t n, std::uint64_t seed) {
+  Matrix a(m, n);
+  SmallRng rng(seed);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) a(i, j) = rng.next_gaussian();
+  return a;
+}
+
+Matrix rank_r_matrix(index_t m, index_t n, index_t r, std::uint64_t seed) {
+  const Matrix u = random_matrix(m, r, seed);
+  const Matrix v = random_matrix(r, n, seed + 1);
+  Matrix a(m, n);
+  gemm(1.0, u.view(), Op::None, v.view(), Op::None, 0.0, a.view());
+  return a;
+}
+
+struct IdCase {
+  index_t m, n, r;
+  std::uint64_t seed;
+};
+
+class IdRank : public ::testing::TestWithParam<IdCase> {};
+
+TEST_P(IdRank, ColumnIdRecoversExactRank) {
+  const auto p = GetParam();
+  const Matrix a = rank_r_matrix(p.m, p.n, p.r, p.seed);
+  const ColumnID id = column_id(a.view(), 1e-10 * norm_f(a.view()));
+  EXPECT_EQ(static_cast<index_t>(id.skeleton.size()), std::min({p.m, p.n, p.r}));
+  EXPECT_LT(column_id_rel_error(a.view(), id), 1e-9);
+}
+
+TEST_P(IdRank, RowIdRecoversExactRank) {
+  const auto p = GetParam();
+  const Matrix a = rank_r_matrix(p.m, p.n, p.r, p.seed + 100);
+  const RowID id = row_id(a.view(), 1e-10 * norm_f(a.view()));
+  EXPECT_EQ(static_cast<index_t>(id.skeleton.size()), std::min({p.m, p.n, p.r}));
+  EXPECT_LT(row_id_rel_error(a.view(), id), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, IdRank,
+                         ::testing::Values(IdCase{20, 15, 4, 1}, IdCase{15, 20, 4, 2},
+                                           IdCase{30, 30, 10, 3}, IdCase{8, 50, 3, 4},
+                                           IdCase{50, 8, 8, 5}, IdCase{10, 10, 1, 6}));
+
+TEST(ColumnId, InterpolationIsIdentityOnSkeleton) {
+  const Matrix a = rank_r_matrix(12, 9, 4, 7);
+  const ColumnID id = column_id(a.view(), 1e-12 * norm_f(a.view()));
+  for (size_t j = 0; j < id.skeleton.size(); ++j) {
+    for (size_t i = 0; i < id.skeleton.size(); ++i) {
+      const real_t expect = i == j ? 1.0 : 0.0;
+      EXPECT_NEAR(id.interp(static_cast<index_t>(i), id.skeleton[j]), expect, 1e-12);
+    }
+  }
+}
+
+TEST(RowId, InterpolationIsIdentityOnSkeleton) {
+  const Matrix a = rank_r_matrix(14, 10, 5, 8);
+  const RowID id = row_id(a.view(), 1e-12 * norm_f(a.view()));
+  for (size_t i = 0; i < id.skeleton.size(); ++i)
+    for (size_t j = 0; j < id.skeleton.size(); ++j)
+      EXPECT_NEAR(id.interp(id.skeleton[i], static_cast<index_t>(j)), i == j ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(Id, SkeletonIndicesAreValidAndDistinct) {
+  const Matrix a = random_matrix(25, 18, 9);
+  const RowID id = row_id(a.view(), 1e-6 * norm_f(a.view()));
+  std::vector<index_t> sk = id.skeleton;
+  std::sort(sk.begin(), sk.end());
+  EXPECT_TRUE(std::adjacent_find(sk.begin(), sk.end()) == sk.end());
+  for (index_t i : sk) {
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, 25);
+  }
+}
+
+TEST(Id, ToleranceControlsReconstructionError) {
+  // Geometrically decaying singular values: looser tol -> smaller rank,
+  // error within a modest multiple of the tolerance.
+  const index_t n = 40;
+  Matrix a(n, n);
+  SmallRng rng(10);
+  Matrix u = random_matrix(n, n, 11), v = random_matrix(n, n, 12);
+  for (index_t k = 0; k < n; ++k) {
+    const real_t s = std::pow(10.0, -0.25 * static_cast<real_t>(k));
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < n; ++i) a(i, j) += s * u(i, k) * v(j, k);
+  }
+  const real_t nf = norm_f(a.view());
+  const ColumnID loose = column_id(a.view(), 1e-3 * nf);
+  const ColumnID tight = column_id(a.view(), 1e-9 * nf);
+  EXPECT_LT(loose.skeleton.size(), tight.skeleton.size());
+  EXPECT_LT(column_id_rel_error(a.view(), loose), 1e-2);
+  EXPECT_LT(column_id_rel_error(a.view(), tight), 1e-7);
+}
+
+TEST(Id, MaxRankIsEnforced) {
+  const Matrix a = random_matrix(20, 20, 13);
+  const RowID id = row_id(a.view(), 0.0, /*max_rank=*/6);
+  EXPECT_EQ(id.skeleton.size(), 6u);
+  EXPECT_EQ(id.interp.cols(), 6);
+  EXPECT_EQ(id.interp.rows(), 20);
+}
+
+TEST(Id, ZeroMatrixGivesRankZero) {
+  Matrix z(10, 6);
+  const RowID id = row_id(z.view(), 1e-14);
+  EXPECT_TRUE(id.skeleton.empty());
+  EXPECT_EQ(id.interp.rows(), 10);
+  EXPECT_EQ(id.interp.cols(), 0);
+}
+
+TEST(Id, SingleRowAndSingleColumn) {
+  Matrix row(1, 7);
+  for (index_t j = 0; j < 7; ++j) row(0, j) = static_cast<real_t>(j + 1);
+  const RowID rid = row_id(row.view(), 1e-12);
+  EXPECT_EQ(rid.skeleton.size(), 1u);
+  EXPECT_LT(row_id_rel_error(row.view(), rid), 1e-12);
+
+  Matrix col(7, 1);
+  for (index_t i = 0; i < 7; ++i) col(i, 0) = static_cast<real_t>(i + 1);
+  const ColumnID cid = column_id(col.view(), 1e-12);
+  EXPECT_EQ(cid.skeleton.size(), 1u);
+  EXPECT_LT(column_id_rel_error(col.view(), cid), 1e-12);
+}
+
+} // namespace
+} // namespace h2sketch::la

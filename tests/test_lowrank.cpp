@@ -1,0 +1,63 @@
+#include "la/lowrank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "la/blas.hpp"
+
+namespace h2sketch::la {
+namespace {
+
+TEST(LowRank, ApplyMatchesDensify) {
+  const LowRank lr = random_lowrank(12, 9, 3, 1.0, 77);
+  const Matrix d = lr.densify();
+  Matrix x(9, 4);
+  SmallRng rng(1);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 9; ++i) x(i, j) = rng.next_gaussian();
+  Matrix y1(12, 4), y2(12, 4);
+  lr.apply(2.0, x.view(), y1.view());
+  gemm(2.0, d.view(), Op::None, x.view(), Op::None, 1.0, y2.view());
+  EXPECT_LT(max_abs_diff(y1.view(), y2.view()), 1e-12);
+}
+
+TEST(LowRank, EntryMatchesDensify) {
+  const LowRank lr = random_lowrank(8, 7, 2, 0.5, 78);
+  const Matrix d = lr.densify();
+  for (index_t i = 0; i < 8; ++i)
+    for (index_t j = 0; j < 7; ++j) EXPECT_NEAR(lr.entry(i, j), d(i, j), 1e-14);
+}
+
+TEST(LowRank, RandomFactorShapes) {
+  const LowRank lr = random_lowrank(10, 6, 4, 1.0, 79);
+  EXPECT_EQ(lr.rows(), 10);
+  EXPECT_EQ(lr.cols(), 6);
+  EXPECT_EQ(lr.rank(), 4);
+}
+
+TEST(LowRank, TruncateRecoversLowRankMatrix) {
+  const LowRank gen = random_lowrank(20, 16, 5, 1.0, 80);
+  const Matrix d = gen.densify();
+  const LowRank tr = truncate_to_lowrank(d.view(), 1e-10);
+  EXPECT_EQ(tr.rank(), 5);
+  EXPECT_LT(max_abs_diff(tr.densify().view(), d.view()), 1e-9);
+}
+
+TEST(LowRank, TruncateHonorsMaxRank) {
+  const LowRank gen = random_lowrank(15, 15, 8, 1.0, 81);
+  const LowRank tr = truncate_to_lowrank(gen.densify().view(), 1e-14, /*max_rank=*/3);
+  EXPECT_EQ(tr.rank(), 3);
+}
+
+TEST(LowRank, RankZeroIsUsable) {
+  LowRank lr;
+  lr.u.resize(5, 0);
+  lr.v.resize(4, 0);
+  Matrix x(4, 2), y(5, 2);
+  lr.apply(1.0, x.view(), y.view());
+  EXPECT_EQ(norm_f(y.view()), 0.0);
+  EXPECT_EQ(lr.entry(0, 0), 0.0);
+}
+
+} // namespace
+} // namespace h2sketch::la

@@ -1,0 +1,112 @@
+#include "common/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace h2sketch {
+namespace {
+
+TEST(Matrix, ZeroInitializedAndShape) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 3; ++i) EXPECT_EQ(m(i, j), 0.0);
+}
+
+TEST(Matrix, ColumnMajorLayout) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(1, 0) = 2;
+  m(0, 1) = 3;
+  EXPECT_EQ(m.data()[0], 1);
+  EXPECT_EQ(m.data()[1], 2);
+  EXPECT_EQ(m.data()[2], 3);
+}
+
+TEST(Matrix, Identity) {
+  Matrix i = Matrix::identity(4);
+  for (index_t r = 0; r < 4; ++r)
+    for (index_t c = 0; c < 4; ++c) EXPECT_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, BlockViewSharesStorage) {
+  Matrix m(4, 4);
+  MatrixView b = m.block(1, 2, 2, 2);
+  b(0, 0) = 7.5;
+  EXPECT_EQ(m(1, 2), 7.5);
+  EXPECT_EQ(b.ld, 4);
+  EXPECT_EQ(b.rows, 2);
+}
+
+TEST(Matrix, NestedBlockViews) {
+  Matrix m(6, 6);
+  m(3, 4) = 9.0;
+  MatrixView outer = m.block(2, 2, 4, 4);
+  MatrixView inner = outer.block(1, 2, 1, 1);
+  EXPECT_EQ(inner(0, 0), 9.0);
+}
+
+TEST(Matrix, CopyAndToMatrix) {
+  Matrix a(3, 2);
+  a(2, 1) = -4.0;
+  Matrix b = to_matrix(a.view());
+  EXPECT_EQ(b(2, 1), -4.0);
+  Matrix c(3, 2);
+  copy(a.view(), c.view());
+  EXPECT_EQ(max_abs_diff(a.view(), c.view()), 0.0);
+}
+
+TEST(Matrix, CopyShapeMismatchThrows) {
+  Matrix a(3, 2), b(2, 3);
+  EXPECT_THROW(copy(a.view(), b.view()), std::runtime_error);
+}
+
+TEST(Matrix, GatherRows) {
+  Matrix a(4, 2);
+  for (index_t i = 0; i < 4; ++i)
+    for (index_t j = 0; j < 2; ++j) a(i, j) = static_cast<real_t>(10 * i + j);
+  std::vector<index_t> rows = {3, 1};
+  Matrix g(2, 2);
+  gather_rows(a.view(), rows, g.view());
+  EXPECT_EQ(g(0, 0), 30.0);
+  EXPECT_EQ(g(1, 1), 11.0);
+}
+
+TEST(Matrix, GatherBlock) {
+  Matrix a(5, 5);
+  for (index_t i = 0; i < 5; ++i)
+    for (index_t j = 0; j < 5; ++j) a(i, j) = static_cast<real_t>(10 * i + j);
+  std::vector<index_t> rows = {4, 0};
+  std::vector<index_t> cols = {2, 3, 1};
+  Matrix g(2, 3);
+  gather_block(a.view(), rows, cols, g.view());
+  EXPECT_EQ(g(0, 0), 42.0);
+  EXPECT_EQ(g(1, 2), 1.0);
+}
+
+TEST(Matrix, ResizeDiscardsContents) {
+  Matrix a(2, 2);
+  a(0, 0) = 5;
+  a.resize(3, 3);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a(0, 0), 0.0);
+}
+
+TEST(Matrix, EmptyMatrixIsSafe) {
+  Matrix a(0, 5);
+  EXPECT_TRUE(a.empty());
+  EXPECT_TRUE(a.view().empty());
+  Matrix b = to_matrix(a.view());
+  EXPECT_EQ(b.cols(), 5);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a(2, 2), b(2, 2);
+  a(1, 1) = 3.0;
+  b(1, 1) = 1.0;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a.view(), b.view()), 2.0);
+}
+
+} // namespace
+} // namespace h2sketch

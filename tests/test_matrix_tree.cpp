@@ -1,0 +1,180 @@
+#include "tree/matrix_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace h2sketch::tree {
+namespace {
+
+struct MtCase {
+  index_t n;
+  index_t dim;
+  index_t leaf_size;
+  real_t eta;
+  std::uint64_t seed;
+};
+
+class MatrixTreeProps : public ::testing::TestWithParam<MtCase> {
+ protected:
+  void SetUp() override {
+    const auto p = GetParam();
+    tree_ = ClusterTree::build(geo::uniform_random_cube(p.n, p.dim, p.seed), p.leaf_size);
+    mt_ = MatrixTree::build(tree_, Admissibility::general(p.eta));
+  }
+  ClusterTree tree_;
+  MatrixTree mt_;
+};
+
+TEST_P(MatrixTreeProps, BlocksTileTheMatrixExactlyOnce) {
+  const index_t n = tree_.num_points();
+  std::vector<uint8_t> cover(static_cast<size_t>(n * n), 0);
+  auto mark = [&](index_t level, index_t s, index_t t) {
+    for (index_t i = tree_.begin(level, s); i < tree_.end(level, s); ++i)
+      for (index_t j = tree_.begin(level, t); j < tree_.end(level, t); ++j)
+        ++cover[static_cast<size_t>(i * n + j)];
+  };
+  for (index_t l = 0; l < mt_.num_levels; ++l) {
+    const auto& far = mt_.far[static_cast<size_t>(l)];
+    for (index_t r = 0; r < tree_.nodes_at(l); ++r)
+      for (index_t j = 0; j < far.row_count(r); ++j) mark(l, r, far.col_at(r, j));
+  }
+  const index_t leaf = tree_.leaf_level();
+  for (index_t r = 0; r < tree_.nodes_at(leaf); ++r)
+    for (index_t j = 0; j < mt_.near_leaf.row_count(r); ++j)
+      mark(leaf, r, mt_.near_leaf.col_at(r, j));
+  for (size_t c = 0; c < cover.size(); ++c) EXPECT_EQ(cover[c], 1) << "cell " << c;
+}
+
+TEST_P(MatrixTreeProps, ListsAreSymmetric) {
+  auto has_pair = [](const LevelBlockList& list, index_t r, index_t c) {
+    for (index_t j = 0; j < list.row_count(r); ++j)
+      if (list.col_at(r, j) == c) return true;
+    return false;
+  };
+  for (index_t l = 0; l < mt_.num_levels; ++l) {
+    const auto& far = mt_.far[static_cast<size_t>(l)];
+    for (index_t r = 0; r < tree_.nodes_at(l); ++r)
+      for (index_t j = 0; j < far.row_count(r); ++j)
+        EXPECT_TRUE(has_pair(far, far.col_at(r, j), r));
+  }
+  for (index_t r = 0; r < tree_.nodes_at(tree_.leaf_level()); ++r)
+    for (index_t j = 0; j < mt_.near_leaf.row_count(r); ++j)
+      EXPECT_TRUE(has_pair(mt_.near_leaf, mt_.near_leaf.col_at(r, j), r));
+}
+
+TEST_P(MatrixTreeProps, FarBlocksSatisfyAdmissibility) {
+  const auto p = GetParam();
+  const Admissibility adm = Admissibility::general(p.eta);
+  for (index_t l = 0; l < mt_.num_levels; ++l) {
+    const auto& far = mt_.far[static_cast<size_t>(l)];
+    for (index_t r = 0; r < tree_.nodes_at(l); ++r)
+      for (index_t j = 0; j < far.row_count(r); ++j) {
+        const index_t c = far.col_at(r, j);
+        EXPECT_TRUE(adm.admissible(tree_.box(l, r), tree_.box(l, c), r == c));
+      }
+  }
+}
+
+TEST_P(MatrixTreeProps, NearLeafPairsViolateAdmissibility) {
+  const auto p = GetParam();
+  const Admissibility adm = Admissibility::general(p.eta);
+  const index_t leaf = tree_.leaf_level();
+  for (index_t r = 0; r < tree_.nodes_at(leaf); ++r)
+    for (index_t j = 0; j < mt_.near_leaf.row_count(r); ++j) {
+      const index_t c = mt_.near_leaf.col_at(r, j);
+      EXPECT_FALSE(adm.admissible(tree_.box(leaf, r), tree_.box(leaf, c), r == c));
+    }
+}
+
+TEST_P(MatrixTreeProps, DiagonalLeafPairsAreNear) {
+  const index_t leaf = tree_.leaf_level();
+  for (index_t r = 0; r < tree_.nodes_at(leaf); ++r) {
+    bool found = false;
+    for (index_t j = 0; j < mt_.near_leaf.row_count(r); ++j)
+      if (mt_.near_leaf.col_at(r, j) == r) found = true;
+    EXPECT_TRUE(found) << "diagonal block missing for leaf " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EtaSizesDims, MatrixTreeProps,
+                         ::testing::Values(MtCase{200, 3, 16, 0.7, 1}, MtCase{200, 3, 16, 0.5, 2},
+                                           MtCase{300, 2, 16, 0.9, 3}, MtCase{150, 1, 8, 0.5, 4},
+                                           MtCase{128, 3, 32, 0.3, 5}, MtCase{100, 3, 128, 0.7, 6}));
+
+TEST(MatrixTree, WeakAdmissibilityGivesHodlrPattern) {
+  const ClusterTree t = ClusterTree::build(geo::uniform_random_cube(256, 1, 7), 32);
+  const MatrixTree mt = MatrixTree::build(t, Admissibility::weak());
+  // Exactly the 2^l off-diagonal sibling blocks per level below the root.
+  for (index_t l = 1; l < mt.num_levels; ++l)
+    EXPECT_EQ(mt.far[static_cast<size_t>(l)].count(), index_t{1} << l);
+  EXPECT_EQ(mt.far[0].count(), 0);
+  // Near field is only the diagonal leaves.
+  EXPECT_EQ(mt.near_leaf.count(), t.nodes_at(t.leaf_level()));
+  EXPECT_EQ(mt.csp(), 1);
+}
+
+TEST(MatrixTree, SmallerEtaRefinesPartitioningAndGrowsCsp) {
+  const ClusterTree t = ClusterTree::build(geo::uniform_random_cube(2048, 3, 8), 32);
+  const MatrixTree loose = MatrixTree::build(t, Admissibility::general(0.9));
+  const MatrixTree tight = MatrixTree::build(t, Admissibility::general(0.3));
+  // Paper Fig. 4(a)-(b): smaller eta -> more refined partitioning, larger Csp.
+  EXPECT_GT(tight.total_far_blocks() + tight.near_leaf.count(),
+            loose.total_far_blocks() + loose.near_leaf.count());
+  EXPECT_GE(tight.csp(), loose.csp());
+}
+
+TEST(MatrixTree, CspBoundedForFixedEtaAcrossSizes) {
+  // The sparsity constant must not grow with N (paper §II-A).
+  index_t prev_csp = 0;
+  for (index_t n : {512, 1024, 2048, 4096}) {
+    const ClusterTree t = ClusterTree::build(geo::uniform_random_cube(n, 3, 9), 32);
+    const MatrixTree mt = MatrixTree::build(t, Admissibility::general(0.7));
+    if (n > 1024) EXPECT_LE(mt.csp(), prev_csp * 2);
+    prev_csp = std::max(prev_csp, mt.csp());
+  }
+  EXPECT_LE(prev_csp, 128);
+}
+
+TEST_P(MatrixTreeProps, PerLevelNearListsFormAChain) {
+  // near[leaf] is the dense list; every near pair's parent pair must be a
+  // near pair at the coarser level (the dual traversal only descends
+  // through inadmissible pairs), and near[0] is exactly the root pair.
+  EXPECT_EQ(mt_.near.back().col, mt_.near_leaf.col);
+  EXPECT_EQ(mt_.near[0].count(), 1);
+  EXPECT_EQ(mt_.near[0].col_at(0, 0), 0);
+  auto has_pair = [](const LevelBlockList& list, index_t r, index_t c) {
+    for (index_t j = 0; j < list.row_count(r); ++j)
+      if (list.col_at(r, j) == c) return true;
+    return false;
+  };
+  for (index_t l = 1; l < mt_.num_levels; ++l) {
+    const auto& near = mt_.near[static_cast<size_t>(l)];
+    for (index_t r = 0; r < tree_.nodes_at(l); ++r)
+      for (index_t j = 0; j < near.row_count(r); ++j)
+        EXPECT_TRUE(has_pair(mt_.near[static_cast<size_t>(l - 1)], r / 2, near.col_at(r, j) / 2));
+  }
+}
+
+TEST_P(MatrixTreeProps, EveryLevelPairIsNearXorFarDescendant) {
+  // At each level, the set of visited pairs = children of the previous
+  // level's near pairs; each is either far (stops) or near (descends).
+  for (index_t l = 1; l < mt_.num_levels; ++l) {
+    const auto& far = mt_.far[static_cast<size_t>(l)];
+    const auto& near = mt_.near[static_cast<size_t>(l)];
+    const auto& parent_near = mt_.near[static_cast<size_t>(l - 1)];
+    index_t expected = 0;
+    for (index_t r = 0; r < tree_.nodes_at(l - 1); ++r) expected += 4 * parent_near.row_count(r);
+    EXPECT_EQ(far.count() + near.count(), expected);
+  }
+}
+
+TEST(MatrixTree, SingleNodeTreeIsOneDenseBlock) {
+  const ClusterTree t = ClusterTree::build(geo::uniform_random_cube(30, 3, 64), 64);
+  const MatrixTree mt = MatrixTree::build(t, Admissibility::general(0.7));
+  EXPECT_FALSE(mt.has_any_far());
+  EXPECT_EQ(mt.near_leaf.count(), 1);
+}
+
+} // namespace
+} // namespace h2sketch::tree

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+
+#include <cmath>
+#include "common/random.hpp"
+#include "la/blas.hpp"
+#include "sparse/multifrontal.hpp"
+
+/// Multifrontal solve path: the full factorization (keep_factors) must solve
+/// A x = b to machine precision.
+
+namespace h2sketch::sparse {
+namespace {
+
+class MfSolve : public ::testing::TestWithParam<Grid> {};
+
+TEST_P(MfSolve, SolvesPoissonSystem) {
+  const Grid g = GetParam();
+  const CsrMatrix a = poisson_matrix(g);
+  MultifrontalOptions opts;
+  opts.max_leaf = 16;
+  opts.keep_factors = true;
+  const MultifrontalResult mf = multifrontal_root_front(a, g, opts);
+
+  std::vector<real_t> b(static_cast<size_t>(a.n)), x(static_cast<size_t>(a.n)),
+      r(static_cast<size_t>(a.n));
+  SmallRng rng(5);
+  for (auto& v : b) v = rng.next_gaussian();
+  mf.solve(b, x);
+  a.spmv(x, r);
+  real_t resid = 0, bnorm = 0;
+  for (size_t i = 0; i < b.size(); ++i) {
+    resid += (r[i] - b[i]) * (r[i] - b[i]);
+    bnorm += b[i] * b[i];
+  }
+  EXPECT_LT(std::sqrt(resid / bnorm), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, MfSolve,
+                         ::testing::Values(Grid{9, 9, 1}, Grid{16, 11, 1}, Grid{6, 6, 6},
+                                           Grid{8, 7, 6}));
+
+TEST(MfSolve, MatchesDenseCholeskySolve) {
+  const Grid g{10, 9, 1};
+  const CsrMatrix a = poisson_matrix(g);
+  MultifrontalOptions opts;
+  opts.max_leaf = 8;
+  opts.keep_factors = true;
+  const MultifrontalResult mf = multifrontal_root_front(a, g, opts);
+
+  std::vector<real_t> b(static_cast<size_t>(a.n)), x(static_cast<size_t>(a.n));
+  SmallRng rng(6);
+  for (auto& v : b) v = rng.next_gaussian();
+  mf.solve(b, x);
+
+  Matrix d = a.densify();
+  Matrix rhs(a.n, 1);
+  for (index_t i = 0; i < a.n; ++i) rhs(i, 0) = b[static_cast<size_t>(i)];
+  la::cholesky(d.view());
+  la::cholesky_solve(d.view(), rhs.view());
+  for (index_t i = 0; i < a.n; ++i)
+    EXPECT_NEAR(x[static_cast<size_t>(i)], rhs(i, 0), 1e-10);
+}
+
+TEST(MfSolve, SolveWithoutFactorsThrows) {
+  const Grid g{6, 6, 1};
+  const CsrMatrix a = poisson_matrix(g);
+  const MultifrontalResult mf = multifrontal_root_front(a, g, {8, false});
+  std::vector<real_t> b(static_cast<size_t>(a.n), 1.0), x(static_cast<size_t>(a.n));
+  EXPECT_THROW(mf.solve(b, x), std::runtime_error);
+}
+
+} // namespace
+} // namespace h2sketch::sparse

@@ -1,0 +1,166 @@
+#include "la/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.hpp"
+#include "la/blas.hpp"
+
+namespace h2sketch::la {
+namespace {
+
+Matrix random_matrix(index_t m, index_t n, std::uint64_t seed) {
+  Matrix a(m, n);
+  SmallRng rng(seed);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) a(i, j) = rng.next_gaussian();
+  return a;
+}
+
+/// Rank-r m x n matrix built as a product of Gaussian factors.
+Matrix rank_r_matrix(index_t m, index_t n, index_t r, std::uint64_t seed) {
+  const Matrix u = random_matrix(m, r, seed);
+  const Matrix v = random_matrix(r, n, seed + 1);
+  Matrix a(m, n);
+  gemm(1.0, u.view(), Op::None, v.view(), Op::None, 0.0, a.view());
+  return a;
+}
+
+Matrix upper_triangle(ConstMatrixView qr) {
+  Matrix r(std::min(qr.rows, qr.cols), qr.cols);
+  for (index_t j = 0; j < qr.cols; ++j)
+    for (index_t i = 0; i <= std::min(j, r.rows() - 1); ++i) r(i, j) = qr(i, j);
+  return r;
+}
+
+class QrShapes : public ::testing::TestWithParam<std::pair<index_t, index_t>> {};
+
+TEST_P(QrShapes, ReconstructsA) {
+  const auto [m, n] = GetParam();
+  const Matrix a = random_matrix(m, n, 42);
+  Matrix f = to_matrix(a.view());
+  std::vector<real_t> tau;
+  householder_qr(f.view(), tau);
+  const Matrix r = upper_triangle(f.view());
+  const Matrix q = form_q(f.view(), tau, std::min(m, n));
+  Matrix qr_prod(m, n);
+  gemm(1.0, q.view(), Op::None, r.view(), Op::None, 0.0, qr_prod.view());
+  EXPECT_LT(max_abs_diff(qr_prod.view(), a.view()), 1e-12);
+}
+
+TEST_P(QrShapes, QHasOrthonormalColumns) {
+  const auto [m, n] = GetParam();
+  const index_t k = std::min(m, n);
+  Matrix f = random_matrix(m, n, 17);
+  std::vector<real_t> tau;
+  householder_qr(f.view(), tau);
+  const Matrix q = form_q(f.view(), tau, k);
+  Matrix qtq(k, k);
+  gemm(1.0, q.view(), Op::Trans, q.view(), Op::None, 0.0, qtq.view());
+  EXPECT_LT(max_abs_diff(qtq.view(), Matrix::identity(k).view()), 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(TallSquareWide, QrShapes,
+                         ::testing::Values(std::make_pair<index_t, index_t>(12, 5),
+                                           std::make_pair<index_t, index_t>(7, 7),
+                                           std::make_pair<index_t, index_t>(4, 9),
+                                           std::make_pair<index_t, index_t>(1, 1),
+                                           std::make_pair<index_t, index_t>(20, 3)));
+
+TEST(Qr, ApplyQTransposeInvertsApplyQ) {
+  Matrix f = random_matrix(9, 4, 3);
+  std::vector<real_t> tau;
+  householder_qr(f.view(), tau);
+  const Matrix b = random_matrix(9, 2, 4);
+  Matrix w = to_matrix(b.view());
+  apply_q(f.view(), tau, w.view());
+  apply_q_transpose(f.view(), tau, w.view());
+  EXPECT_LT(max_abs_diff(w.view(), b.view()), 1e-12);
+}
+
+TEST(Qr, QTransposeTimesAGivesR) {
+  const Matrix a = random_matrix(8, 5, 5);
+  Matrix f = to_matrix(a.view());
+  std::vector<real_t> tau;
+  householder_qr(f.view(), tau);
+  Matrix w = to_matrix(a.view());
+  apply_q_transpose(f.view(), tau, w.view());
+  // Below-diagonal entries of Q^T A must vanish.
+  for (index_t j = 0; j < 5; ++j)
+    for (index_t i = j + 1; i < 8; ++i) EXPECT_NEAR(w(i, j), 0.0, 1e-12);
+}
+
+TEST(MinAbsRDiag, DetectsRankDeficiency) {
+  // Rank-3 matrix with 6 columns: some R diagonal must be ~0.
+  const Matrix a = rank_r_matrix(20, 6, 3, 7);
+  EXPECT_LT(min_abs_r_diag(a.view()), 1e-10);
+  // Full-rank Gaussian: diagonal bounded away from zero.
+  const Matrix b = random_matrix(20, 6, 8);
+  EXPECT_GT(min_abs_r_diag(b.view()), 1e-3);
+}
+
+TEST(MinAbsRDiag, EmptyAndZeroMatrices) {
+  Matrix z(5, 3);
+  EXPECT_EQ(min_abs_r_diag(z.view()), 0.0);
+  Matrix e(0, 0);
+  EXPECT_EQ(min_abs_r_diag(e.view()), 0.0);
+}
+
+TEST(Cpqr, PivotsAreAPermutation) {
+  Matrix a = random_matrix(10, 8, 9);
+  std::vector<real_t> tau;
+  const Cpqr f = cpqr(a.view(), tau, 0.0);
+  std::vector<index_t> sorted = f.piv;
+  std::sort(sorted.begin(), sorted.end());
+  for (index_t j = 0; j < 8; ++j) EXPECT_EQ(sorted[static_cast<size_t>(j)], j);
+  EXPECT_EQ(f.rank, 8);
+}
+
+TEST(Cpqr, DiagonalMagnitudesNonIncreasing) {
+  Matrix a = random_matrix(16, 10, 10);
+  std::vector<real_t> tau;
+  const Cpqr f = cpqr(a.view(), tau, 0.0);
+  for (index_t i = 0; i + 1 < f.rank; ++i)
+    EXPECT_GE(std::abs(a(i, i)) * (1 + 1e-12), std::abs(a(i + 1, i + 1)));
+}
+
+TEST(Cpqr, DetectsNumericalRank) {
+  const Matrix a = rank_r_matrix(30, 20, 5, 11);
+  Matrix f = to_matrix(a.view());
+  std::vector<real_t> tau;
+  const Cpqr res = cpqr(f.view(), tau, 1e-10 * norm_f(a.view()));
+  EXPECT_EQ(res.rank, 5);
+}
+
+TEST(Cpqr, MaxRankCapsFactorization) {
+  Matrix a = random_matrix(12, 12, 12);
+  std::vector<real_t> tau;
+  const Cpqr res = cpqr(a.view(), tau, 0.0, /*max_rank=*/4);
+  EXPECT_EQ(res.rank, 4);
+}
+
+TEST(Cpqr, ReconstructsPermutedMatrix) {
+  const Matrix a = random_matrix(9, 6, 13);
+  Matrix f = to_matrix(a.view());
+  std::vector<real_t> tau;
+  const Cpqr res = cpqr(f.view(), tau, 0.0);
+  const Matrix q = form_q(f.view(), tau, 6);
+  const Matrix r = upper_triangle(f.view());
+  Matrix qr_prod(9, 6);
+  gemm(1.0, q.view(), Op::None, r.view(), Op::None, 0.0, qr_prod.view());
+  for (index_t j = 0; j < 6; ++j)
+    for (index_t i = 0; i < 9; ++i)
+      EXPECT_NEAR(qr_prod(i, j), a(i, res.piv[static_cast<size_t>(j)]), 1e-12);
+}
+
+TEST(Cpqr, ZeroMatrixHasRankZero) {
+  Matrix z(6, 4);
+  std::vector<real_t> tau;
+  const Cpqr res = cpqr(z.view(), tau, 1e-14);
+  EXPECT_EQ(res.rank, 0);
+}
+
+} // namespace
+} // namespace h2sketch::la

@@ -1,0 +1,112 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace h2sketch {
+namespace {
+
+TEST(Philox, DeterministicByCounter) {
+  const auto a = Philox4x32::block(42, 7, 1000);
+  const auto b = Philox4x32::block(42, 7, 1000);
+  EXPECT_EQ(a, b);
+  const auto c = Philox4x32::block(42, 7, 1001);
+  EXPECT_NE(a, c);
+  const auto d = Philox4x32::block(43, 7, 1000);
+  EXPECT_NE(a, d);
+}
+
+TEST(GaussianStream, IndexAddressedAndReproducible) {
+  GaussianStream g(123);
+  const real_t v0 = g(0), v1 = g(1), v5000 = g(5000);
+  EXPECT_EQ(v0, GaussianStream(123)(0));
+  EXPECT_EQ(v1, GaussianStream(123)(1));
+  EXPECT_EQ(v5000, GaussianStream(123)(5000));
+  EXPECT_NE(v0, v1);
+}
+
+TEST(GaussianStream, MomentsApproximatelyStandardNormal) {
+  GaussianStream g(7);
+  const int n = 200000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = g(static_cast<std::uint64_t>(i));
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(GaussianStream, UniformInOpenUnitInterval) {
+  GaussianStream g(99);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const real_t u = g.uniform(i);
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(FillGaussian, MatchesElementwiseAddressing) {
+  GaussianStream g(5);
+  Matrix a(13, 7);
+  fill_gaussian(a.view(), g, /*offset=*/100);
+  EXPECT_EQ(a(3, 2), g(100 + 2 * 13 + 3));
+  EXPECT_EQ(a(0, 0), g(100));
+}
+
+TEST(FillGaussian, OffsetContinuesStreamWithoutOverlap) {
+  // Adaptive rounds append columns; offsets must produce fresh variates.
+  GaussianStream g(5);
+  Matrix a(8, 2), b(8, 2);
+  fill_gaussian(a.view(), g, 0);
+  fill_gaussian(b.view(), g, 16);
+  EXPECT_GT(max_abs_diff(a.view(), b.view()), 0.0);
+  // b's first element continues exactly where a stopped.
+  EXPECT_EQ(b(0, 0), g(16));
+}
+
+TEST(FillGaussian, SubviewFillRespectsLeadingDimension) {
+  GaussianStream g(11);
+  Matrix a(6, 6);
+  a.fill(-1.0);
+  fill_gaussian(a.block(2, 2, 3, 2), g, 0);
+  EXPECT_EQ(a(0, 0), -1.0);  // untouched outside the block
+  EXPECT_EQ(a(2, 2), g(0));
+  EXPECT_EQ(a(4, 3), g(5));
+}
+
+TEST(SmallRng, RangesAndDeterminism) {
+  SmallRng r1(3), r2(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(r1.next_u64(), r2.next_u64());
+  }
+  SmallRng r(4);
+  for (int i = 0; i < 1000; ++i) {
+    const real_t v = r.next_real();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    const index_t k = r.next_index(17);
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 17);
+  }
+}
+
+TEST(SmallRng, GaussianMoments) {
+  SmallRng r(10);
+  const int n = 100000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.next_gaussian();
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+} // namespace
+} // namespace h2sketch

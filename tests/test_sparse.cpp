@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "la/blas.hpp"
+#include "sparse/multifrontal.hpp"
+#include "sparse/synthetic_front.hpp"
+
+namespace h2sketch::sparse {
+namespace {
+
+TEST(Poisson, StencilStructureAndSymmetry) {
+  const Grid g{4, 3, 1};
+  const CsrMatrix a = poisson_matrix(g);
+  EXPECT_EQ(a.n, 12);
+  EXPECT_TRUE(a.is_symmetric());
+  // Interior point (1,1) has 4 neighbours + diagonal.
+  const index_t p = 1 + 1 * 4;
+  EXPECT_EQ(a.row_ptr[static_cast<size_t>(p + 1)] - a.row_ptr[static_cast<size_t>(p)], 5);
+  EXPECT_DOUBLE_EQ(a.at(p, p), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(p, p - 1), -1.0);
+}
+
+TEST(Poisson, ThreeDDiagonal) {
+  const Grid g{3, 3, 3};
+  const CsrMatrix a = poisson_matrix(g);
+  EXPECT_EQ(a.n, 27);
+  EXPECT_DOUBLE_EQ(a.at(13, 13), 6.0); // center point
+  EXPECT_TRUE(a.is_symmetric());
+}
+
+TEST(Csr, SpmvMatchesDense) {
+  const Grid g{5, 4, 1};
+  const CsrMatrix a = poisson_matrix(g);
+  const Matrix d = a.densify();
+  std::vector<real_t> x(static_cast<size_t>(a.n)), y(static_cast<size_t>(a.n)),
+      yref(static_cast<size_t>(a.n));
+  SmallRng rng(1);
+  for (auto& v : x) v = rng.next_gaussian();
+  a.spmv(x, y);
+  la::gemv(1.0, d.view(), la::Op::None, x, 0.0, yref);
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], yref[i], 1e-13);
+}
+
+TEST(Csr, FromTripletsSumsDuplicates) {
+  CsrMatrix m = CsrMatrix::from_triplets(3, {{0, 1, 2.0}, {0, 1, 3.0}, {2, 0, 1.0}});
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.0);
+  EXPECT_EQ(m.nnz(), 2);
+}
+
+TEST(NestedDissection, VarsPartitionTheGrid) {
+  const Grid g{9, 9, 1};
+  const NdTree t = nested_dissection(g, 8);
+  std::vector<index_t> all;
+  for (const auto& node : t.nodes) all.insert(all.end(), node.vars.begin(), node.vars.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(static_cast<index_t>(all.size()), g.size());
+  for (index_t i = 0; i < g.size(); ++i) EXPECT_EQ(all[static_cast<size_t>(i)], i);
+}
+
+TEST(NestedDissection, SeparatorsDisconnectChildren) {
+  const Grid g{9, 9, 1};
+  const CsrMatrix a = poisson_matrix(g);
+  const NdTree t = nested_dissection(g, 8);
+  // Collect subtree vars per node.
+  std::vector<std::vector<index_t>> sub(t.nodes.size());
+  for (index_t id : t.postorder) {
+    const auto& node = t.nodes[static_cast<size_t>(id)];
+    sub[static_cast<size_t>(id)] = node.vars;
+    if (!node.is_leaf()) {
+      for (index_t c : {node.left, node.right}) {
+        sub[static_cast<size_t>(id)].insert(sub[static_cast<size_t>(id)].end(),
+                                            sub[static_cast<size_t>(c)].begin(),
+                                            sub[static_cast<size_t>(c)].end());
+      }
+    }
+  }
+  for (const auto& node : t.nodes) {
+    if (node.is_leaf()) continue;
+    std::vector<uint8_t> left_mark(static_cast<size_t>(a.n), 0);
+    for (index_t v : sub[static_cast<size_t>(node.left)]) left_mark[static_cast<size_t>(v)] = 1;
+    for (index_t v : sub[static_cast<size_t>(node.right)])
+      for (index_t e = a.row_ptr[static_cast<size_t>(v)]; e < a.row_ptr[static_cast<size_t>(v + 1)];
+           ++e)
+        EXPECT_FALSE(left_mark[static_cast<size_t>(a.col[static_cast<size_t>(e)])])
+            << "edge crosses separator";
+  }
+}
+
+/// Dense reference: S = A_SS - A_SR A_RR^{-1} A_RS.
+Matrix dense_schur(const CsrMatrix& a, const std::vector<index_t>& sep) {
+  std::vector<uint8_t> is_sep(static_cast<size_t>(a.n), 0);
+  for (index_t v : sep) is_sep[static_cast<size_t>(v)] = 1;
+  std::vector<index_t> rest;
+  for (index_t v = 0; v < a.n; ++v)
+    if (!is_sep[static_cast<size_t>(v)]) rest.push_back(v);
+  const Matrix d = a.densify();
+  const index_t ns = static_cast<index_t>(sep.size()), nr = static_cast<index_t>(rest.size());
+  Matrix ass(ns, ns), asr(ns, nr), arr(nr, nr), ars(nr, ns);
+  gather_block(d.view(), sep, sep, ass.view());
+  gather_block(d.view(), sep, rest, asr.view());
+  gather_block(d.view(), rest, rest, arr.view());
+  gather_block(d.view(), rest, sep, ars.view());
+  la::cholesky(arr.view());
+  la::cholesky_solve(arr.view(), ars.view()); // ars := A_RR^{-1} A_RS
+  la::gemm(-1.0, asr.view(), la::Op::None, ars.view(), la::Op::None, 1.0, ass.view());
+  return ass;
+}
+
+class MultifrontalSchur : public ::testing::TestWithParam<Grid> {};
+
+TEST_P(MultifrontalSchur, RootFrontMatchesDenseSchurComplement) {
+  const Grid g = GetParam();
+  const CsrMatrix a = poisson_matrix(g);
+  MultifrontalOptions opts;
+  opts.max_leaf = 8;
+  const MultifrontalResult mf = multifrontal_root_front(a, g, opts);
+  ASSERT_FALSE(mf.root_vars.empty());
+  const Matrix ref = dense_schur(a, mf.root_vars);
+  EXPECT_LT(max_abs_diff(mf.root_front.view(), ref.view()), 1e-9);
+}
+
+TEST_P(MultifrontalSchur, RootFrontIsSymmetricPositiveDefinite) {
+  const Grid g = GetParam();
+  const CsrMatrix a = poisson_matrix(g);
+  const MultifrontalResult mf = multifrontal_root_front(a, g, {8});
+  const index_t ns = mf.root_front.rows();
+  for (index_t j = 0; j < ns; ++j)
+    for (index_t i = 0; i < ns; ++i)
+      EXPECT_NEAR(mf.root_front(i, j), mf.root_front(j, i), 1e-11);
+  Matrix chol = to_matrix(mf.root_front.view());
+  EXPECT_NO_THROW(la::cholesky(chol.view()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, MultifrontalSchur,
+                         ::testing::Values(Grid{9, 9, 1}, Grid{12, 7, 1}, Grid{5, 5, 5},
+                                           Grid{7, 6, 5}));
+
+TEST(Multifrontal, RootSeparatorGeometryIsPlanar) {
+  const Grid g{9, 9, 9};
+  const CsrMatrix a = poisson_matrix(g);
+  const MultifrontalResult mf = multifrontal_root_front(a, g, {32});
+  EXPECT_EQ(static_cast<index_t>(mf.root_vars.size()), 81); // 9x9 mid-plane
+  const geo::PointCloud pc = grid_points(g, mf.root_vars);
+  // All separator points share one coordinate (the split plane).
+  bool planar = false;
+  for (index_t d = 0; d < 3; ++d) {
+    bool same = true;
+    for (index_t i = 1; i < pc.size(); ++i)
+      if (pc.coord(i, d) != pc.coord(0, d)) same = false;
+    planar = planar || same;
+  }
+  EXPECT_TRUE(planar);
+}
+
+TEST(SyntheticFront, SymmetricWithDominantDiagonal) {
+  const SyntheticFront f = make_synthetic_front(12, 12);
+  const auto k = synthetic_front_kernel(f);
+  EXPECT_EQ(f.points.size(), 144);
+  real_t x[3], y[3];
+  for (index_t d = 0; d < 3; ++d) {
+    x[d] = f.points.coord(3, d);
+    y[d] = f.points.coord(100, d);
+  }
+  EXPECT_DOUBLE_EQ(k.evaluate(x, y, 3), k.evaluate(y, x, 3));
+  EXPECT_GT(k.evaluate(x, x, 3), k.evaluate(x, y, 3));
+}
+
+} // namespace
+} // namespace h2sketch::sparse

@@ -1,0 +1,91 @@
+#include "la/svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "la/blas.hpp"
+
+namespace h2sketch::la {
+namespace {
+
+Matrix random_matrix(index_t m, index_t n, std::uint64_t seed) {
+  Matrix a(m, n);
+  SmallRng rng(seed);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < m; ++i) a(i, j) = rng.next_gaussian();
+  return a;
+}
+
+Matrix reconstruct(const Svd& s) {
+  const index_t m = s.u.rows(), n = s.v.rows(), r = s.u.cols();
+  Matrix us(m, r);
+  for (index_t j = 0; j < r; ++j)
+    for (index_t i = 0; i < m; ++i) us(i, j) = s.u(i, j) * s.sigma[static_cast<size_t>(j)];
+  Matrix a(m, n);
+  gemm(1.0, us.view(), Op::None, s.v.view(), Op::Trans, 0.0, a.view());
+  return a;
+}
+
+class SvdShapes : public ::testing::TestWithParam<std::pair<index_t, index_t>> {};
+
+TEST_P(SvdShapes, ReconstructsInput) {
+  const auto [m, n] = GetParam();
+  const Matrix a = random_matrix(m, n, 21);
+  const Svd s = jacobi_svd(a.view());
+  EXPECT_LT(max_abs_diff(reconstruct(s).view(), a.view()), 1e-11);
+}
+
+TEST_P(SvdShapes, FactorsAreOrthonormal) {
+  const auto [m, n] = GetParam();
+  const Matrix a = random_matrix(m, n, 22);
+  const Svd s = jacobi_svd(a.view());
+  const index_t r = s.u.cols();
+  Matrix utu(r, r), vtv(r, r);
+  gemm(1.0, s.u.view(), Op::Trans, s.u.view(), Op::None, 0.0, utu.view());
+  gemm(1.0, s.v.view(), Op::Trans, s.v.view(), Op::None, 0.0, vtv.view());
+  EXPECT_LT(max_abs_diff(utu.view(), Matrix::identity(r).view()), 1e-11);
+  EXPECT_LT(max_abs_diff(vtv.view(), Matrix::identity(r).view()), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdShapes,
+                         ::testing::Values(std::make_pair<index_t, index_t>(10, 10),
+                                           std::make_pair<index_t, index_t>(15, 6),
+                                           std::make_pair<index_t, index_t>(6, 15),
+                                           std::make_pair<index_t, index_t>(1, 8),
+                                           std::make_pair<index_t, index_t>(8, 1)));
+
+TEST(Svd, SingularValuesSortedDescending) {
+  const Matrix a = random_matrix(12, 9, 23);
+  const Svd s = jacobi_svd(a.view());
+  for (size_t i = 0; i + 1 < s.sigma.size(); ++i) EXPECT_GE(s.sigma[i], s.sigma[i + 1]);
+}
+
+TEST(Svd, KnownDiagonalMatrix) {
+  Matrix a(3, 3);
+  a(0, 0) = 2.0;
+  a(1, 1) = -5.0;
+  a(2, 2) = 1.0;
+  const Svd s = jacobi_svd(a.view());
+  ASSERT_EQ(s.sigma.size(), 3u);
+  EXPECT_NEAR(s.sigma[0], 5.0, 1e-12);
+  EXPECT_NEAR(s.sigma[1], 2.0, 1e-12);
+  EXPECT_NEAR(s.sigma[2], 1.0, 1e-12);
+}
+
+TEST(Svd, RankDetection) {
+  const Matrix u = random_matrix(20, 4, 24);
+  const Matrix v = random_matrix(15, 4, 25);
+  Matrix a(20, 15);
+  gemm(1.0, u.view(), Op::None, v.view(), Op::Trans, 0.0, a.view());
+  const Svd s = jacobi_svd(a.view());
+  EXPECT_EQ(svd_rank(s, 1e-10), 4);
+}
+
+TEST(Svd, ZeroMatrixRankZero) {
+  Matrix z(5, 4);
+  const Svd s = jacobi_svd(z.view());
+  EXPECT_EQ(svd_rank(s, 1e-10), 0);
+}
+
+} // namespace
+} // namespace h2sketch::la

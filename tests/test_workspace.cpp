@@ -1,0 +1,73 @@
+#include "common/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/scan.hpp"
+
+namespace h2sketch {
+namespace {
+
+TEST(Workspace, ReserveThenSuballocate) {
+  Workspace w;
+  w.reserve_bytes(1 << 12);
+  double* a = w.allocate<double>(100);
+  double* b = w.allocate<double>(100);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(w.backing_allocations(), 1);
+  EXPECT_EQ(w.suballocations(), 2);
+}
+
+TEST(Workspace, SuballocationsAreAligned) {
+  Workspace w;
+  w.reserve_bytes(1 << 12);
+  char* a = w.allocate<char>(3);
+  double* b = w.allocate<double>(1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+}
+
+TEST(Workspace, ResetRecyclesWithoutReallocating) {
+  Workspace w;
+  w.reserve_bytes(1024);
+  (void)w.allocate<double>(64);
+  w.reset();
+  EXPECT_EQ(w.used_bytes(), 0u);
+  (void)w.allocate<double>(64);
+  EXPECT_EQ(w.backing_allocations(), 1);  // capacity reused
+}
+
+TEST(Workspace, GrowthAfterSuballocationIsAnError) {
+  Workspace w;
+  w.reserve_bytes(128);
+  (void)w.allocate<double>(8);
+  EXPECT_THROW((void)w.allocate<double>(1 << 20), std::runtime_error);
+}
+
+TEST(Workspace, FirstAllocationMayGrowLazily) {
+  Workspace w;
+  double* p = w.allocate<double>(256);
+  EXPECT_NE(p, nullptr);
+  EXPECT_GE(w.capacity_bytes(), 256 * sizeof(double));
+}
+
+TEST(Scan, ExclusiveScanOffsets) {
+  std::vector<index_t> counts = {3, 0, 5, 2};
+  const auto off = exclusive_scan(counts);
+  ASSERT_EQ(off.size(), 5u);
+  EXPECT_EQ(off[0], 0);
+  EXPECT_EQ(off[1], 3);
+  EXPECT_EQ(off[2], 3);
+  EXPECT_EQ(off[3], 8);
+  EXPECT_EQ(off[4], 10);
+}
+
+TEST(Scan, EmptyInput) {
+  const auto off = exclusive_scan({});
+  ASSERT_EQ(off.size(), 1u);
+  EXPECT_EQ(off[0], 0);
+}
+
+} // namespace
+} // namespace h2sketch
