@@ -8,33 +8,18 @@
 #include "kernels/dense_sampler.hpp"
 #include "kernels/kernels.hpp"
 #include "la/blas.hpp"
+#include "test_common.hpp"
 
 namespace h2sketch::baselines {
 namespace {
 
 using tree::Admissibility;
 using tree::ClusterTree;
-
-Matrix dense_kernel_matrix(const ClusterTree& t, const kern::KernelFunction& k) {
-  const index_t n = t.num_points();
-  kern::KernelEntryGenerator gen(t, k);
-  std::vector<index_t> all(static_cast<size_t>(n));
-  for (index_t i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
-  Matrix kd(n, n);
-  gen.generate_block(all, all, kd.view());
-  return kd;
-}
-
-real_t rel_fro_error(ConstMatrixView approx, ConstMatrixView exact) {
-  Matrix diff = to_matrix(approx);
-  for (index_t j = 0; j < diff.cols(); ++j)
-    for (index_t i = 0; i < diff.rows(); ++i) diff(i, j) -= exact(i, j);
-  return la::norm_f(diff.view()) / la::norm_f(exact);
-}
+using test_util::dense_kernel_matrix;
+using test_util::rel_fro_error;
 
 TEST(TopDownHMatrix, StrongAdmissibilityReconstruction) {
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(500, 2, 41), 32));
+  auto tr = test_util::build_cube_tree(500, 2, 41, 32);
   kern::ExponentialKernel k(0.2);
   const Matrix kd = dense_kernel_matrix(*tr, k);
   kern::DenseMatrixSampler sampler(kd.view());
@@ -49,8 +34,7 @@ TEST(TopDownHMatrix, StrongAdmissibilityReconstruction) {
 }
 
 TEST(TopDownHMatrix, MatvecMatchesDensify) {
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(400, 2, 42), 32));
+  auto tr = test_util::build_cube_tree(400, 2, 42, 32);
   kern::Matern32Kernel k(0.3);
   const Matrix kd = dense_kernel_matrix(*tr, k);
   kern::DenseMatrixSampler sampler(kd.view());
@@ -66,8 +50,7 @@ TEST(TopDownHMatrix, MatvecMatchesDensify) {
 }
 
 TEST(PeelingHodlr, WeakAdmissibilityReconstruction1D) {
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(512, 1, 44), 32));
+  auto tr = test_util::build_cube_tree(512, 1, 44, 32);
   kern::ExponentialKernel k(0.5);
   const Matrix kd = dense_kernel_matrix(*tr, k);
   kern::DenseMatrixSampler sampler(kd.view());
@@ -85,8 +68,7 @@ TEST(PeelingHodlr, SampleCountGrowsWithNFor3DKernels) {
   kern::ExponentialKernel k(0.2);
   index_t prev_samples = 0;
   for (index_t n : {256, 512, 1024}) {
-    auto tr = std::make_shared<ClusterTree>(
-        ClusterTree::build(geo::uniform_random_cube(n, 3, 45), 32));
+    auto tr = test_util::build_cube_tree(n, 3, 45, 32);
     const Matrix kd = dense_kernel_matrix(*tr, k);
     kern::DenseMatrixSampler sampler(kd.view());
     TopDownOptions opts;
@@ -99,8 +81,7 @@ TEST(PeelingHodlr, SampleCountGrowsWithNFor3DKernels) {
 }
 
 TEST(TopDownHMatrix, RankCapFlagsNonConvergence) {
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(512, 3, 46), 32));
+  auto tr = test_util::build_cube_tree(512, 3, 46, 32);
   kern::ExponentialKernel k(0.2);
   const Matrix kd = dense_kernel_matrix(*tr, k);
   kern::DenseMatrixSampler sampler(kd.view());
@@ -112,8 +93,7 @@ TEST(TopDownHMatrix, RankCapFlagsNonConvergence) {
 }
 
 TEST(Hss, WeakAdmissibilityViaAlgorithmOne) {
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(512, 1, 47), 32));
+  auto tr = test_util::build_cube_tree(512, 1, 47, 32);
   kern::ExponentialKernel k(0.5);
   const Matrix kd = dense_kernel_matrix(*tr, k);
   kern::DenseMatrixSampler sampler(kd.view());
@@ -131,8 +111,7 @@ TEST(Hss, BottomUpNeedsFarFewerSamplesThanTopDownPeeling) {
   // Same operator, same weak-admissibility format: Algorithm 1 (bottom-up)
   // vs the top-down peeling construction. Bottom-up samples once for all
   // levels; peeling pays per level.
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(1024, 1, 48), 32));
+  auto tr = test_util::build_cube_tree(1024, 1, 48, 32);
   kern::ExponentialKernel k(0.5);
   const Matrix kd = dense_kernel_matrix(*tr, k);
 

@@ -7,17 +7,12 @@
 #include "batched/batched_transpose.hpp"
 #include "batched/bsr_gemm.hpp"
 #include "common/random.hpp"
+#include "test_common.hpp"
 
 namespace h2sketch::batched {
 namespace {
 
-Matrix random_matrix(index_t m, index_t n, std::uint64_t seed) {
-  Matrix a(m, n);
-  SmallRng rng(seed);
-  for (index_t j = 0; j < n; ++j)
-    for (index_t i = 0; i < m; ++i) a(i, j) = rng.next_gaussian();
-  return a;
-}
+using test_util::random_matrix;
 
 class BackendTest : public ::testing::TestWithParam<Backend> {};
 

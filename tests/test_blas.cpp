@@ -3,17 +3,12 @@
 #include <gtest/gtest.h>
 
 #include "common/random.hpp"
+#include "test_common.hpp"
 
 namespace h2sketch::la {
 namespace {
 
-Matrix random_matrix(index_t m, index_t n, std::uint64_t seed) {
-  Matrix a(m, n);
-  SmallRng rng(seed);
-  for (index_t j = 0; j < n; ++j)
-    for (index_t i = 0; i < m; ++i) a(i, j) = rng.next_gaussian();
-  return a;
-}
+using test_util::random_matrix;
 
 // Scalar reference for C = alpha op(A) op(B) + beta C.
 Matrix ref_gemm(real_t alpha, const Matrix& a, Op oa, const Matrix& b, Op ob, real_t beta,

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "test_common.hpp"
+
 namespace h2sketch::tree {
 namespace {
 
@@ -19,7 +21,7 @@ class ClusterTreeProps : public ::testing::TestWithParam<TreeCase> {
  protected:
   ClusterTree make() const {
     const auto p = GetParam();
-    return ClusterTree::build(geo::uniform_random_cube(p.n, p.dim, p.seed), p.leaf_size);
+    return test_util::cube_tree(p.n, p.dim, p.seed, p.leaf_size);
   }
 };
 
@@ -88,14 +90,14 @@ INSTANTIATE_TEST_SUITE_P(
                       TreeCase{100, 2, 1, 7}));
 
 TEST(ClusterTree, SingleNodeWhenLeafCoversAll) {
-  const ClusterTree t = ClusterTree::build(geo::uniform_random_cube(50, 3, 8), 64);
+  const ClusterTree t = test_util::cube_tree(50, 3, 8, 64);
   EXPECT_EQ(t.num_levels(), 1);
   EXPECT_EQ(t.leaf_level(), 0);
   EXPECT_EQ(t.size(0, 0), 50);
 }
 
 TEST(ClusterTree, DepthMatchesLeafBound) {
-  const ClusterTree t = ClusterTree::build(geo::uniform_random_cube(1024, 3, 9), 64);
+  const ClusterTree t = test_util::cube_tree(1024, 3, 9, 64);
   // 1024 / 64 = 16 leaves -> 5 levels (root + 4 splits).
   EXPECT_EQ(t.num_levels(), 5);
   EXPECT_EQ(t.max_leaf_size(), 64);
@@ -110,7 +112,7 @@ TEST(ClusterTree, DuplicatePointsAreHandled) {
 }
 
 TEST(ClusterTree, SplitsReduceBoxExtentAlongSomeAxis) {
-  const ClusterTree t = ClusterTree::build(geo::uniform_random_cube(512, 3, 10), 32);
+  const ClusterTree t = test_util::cube_tree(512, 3, 10, 32);
   // Child diameters never exceed the parent's.
   for (index_t l = 0; l + 1 < t.num_levels(); ++l)
     for (index_t i = 0; i < t.nodes_at(l); ++i) {
@@ -120,7 +122,7 @@ TEST(ClusterTree, SplitsReduceBoxExtentAlongSomeAxis) {
 }
 
 TEST(ClusterTree, CoordPermutedConsistent) {
-  const ClusterTree t = ClusterTree::build(geo::uniform_random_cube(100, 2, 11), 10);
+  const ClusterTree t = test_util::cube_tree(100, 2, 11, 10);
   for (index_t p = 0; p < 100; ++p)
     for (index_t d = 0; d < 2; ++d)
       EXPECT_EQ(t.coord_permuted(p, d), t.points().coord(t.original_index(p), d));

@@ -14,29 +14,15 @@
 #include "kernels/kernels.hpp"
 #include "la/blas.hpp"
 #include "la/svd.hpp"
+#include "test_common.hpp"
 
 namespace h2sketch::core {
 namespace {
 
 using tree::Admissibility;
 using tree::ClusterTree;
-
-Matrix dense_kernel_matrix(const ClusterTree& t, const kern::KernelFunction& k) {
-  const index_t n = t.num_points();
-  kern::KernelEntryGenerator gen(t, k);
-  std::vector<index_t> all(static_cast<size_t>(n));
-  for (index_t i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
-  Matrix kd(n, n);
-  gen.generate_block(all, all, kd.view());
-  return kd;
-}
-
-real_t rel_fro_error(ConstMatrixView approx, ConstMatrixView exact) {
-  Matrix diff = to_matrix(approx);
-  for (index_t j = 0; j < diff.cols(); ++j)
-    for (index_t i = 0; i < diff.rows(); ++i) diff(i, j) -= exact(i, j);
-  return la::norm_f(diff.view()) / la::norm_f(exact);
-}
+using test_util::dense_kernel_matrix;
+using test_util::rel_fro_error;
 
 struct BuildCase {
   index_t n;
@@ -60,8 +46,7 @@ class SketchBuild : public ::testing::TestWithParam<BuildCase> {
  protected:
   void SetUp() override {
     const auto p = GetParam();
-    tree_ = std::make_shared<ClusterTree>(
-        ClusterTree::build(geo::uniform_random_cube(p.n, p.dim, p.seed), p.leaf));
+    tree_ = test_util::build_cube_tree(p.n, p.dim, p.seed, p.leaf);
     kernel_ = make_kernel(p.kernel);
     kd_ = dense_kernel_matrix(*tree_, *kernel_);
   }
@@ -139,8 +124,7 @@ INSTANTIATE_TEST_SUITE_P(
                       BuildCase{513, 2, 32, 0.9, 0, 1e-6, 6}));
 
 TEST(SketchConstruction, BackendsProduceIdenticalMatrices) {
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(300, 2, 11), 16));
+  auto tr = test_util::build_cube_tree(300, 2, 11, 16);
   kern::ExponentialKernel k(0.2);
   const Matrix kd = dense_kernel_matrix(*tr, k);
   kern::KernelEntryGenerator gen(*tr, k);
@@ -161,8 +145,7 @@ TEST(SketchConstruction, BackendsProduceIdenticalMatrices) {
 }
 
 TEST(SketchConstruction, FixedSampleModeMatchesPaperVariant) {
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(400, 2, 12), 16));
+  auto tr = test_util::build_cube_tree(400, 2, 12, 16);
   kern::ExponentialKernel k(0.2);
   const Matrix kd = dense_kernel_matrix(*tr, k);
   kern::DenseMatrixSampler sampler(kd.view());
@@ -179,8 +162,7 @@ TEST(SketchConstruction, FixedSampleModeMatchesPaperVariant) {
 }
 
 TEST(SketchConstruction, AdaptiveAddsRoundsWhenBlockIsSmall) {
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(800, 2, 64), 32));
+  auto tr = test_util::build_cube_tree(800, 2, 64, 32);
   kern::ExponentialKernel k(0.3);
   const Matrix kd = dense_kernel_matrix(*tr, k);
   kern::DenseMatrixSampler sampler(kd.view());
@@ -199,8 +181,7 @@ TEST(SketchConstruction, AdaptiveAddsRoundsWhenBlockIsSmall) {
 TEST(SketchConstruction, WeakAdmissibilityGivesHssBehaviour) {
   // Algorithm 1 under weak admissibility is Martinsson's HSS construction;
   // 1D geometry keeps HSS ranks small.
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(512, 1, 13), 32));
+  auto tr = test_util::build_cube_tree(512, 1, 13, 32);
   kern::ExponentialKernel k(0.5);
   const Matrix kd = dense_kernel_matrix(*tr, k);
   kern::DenseMatrixSampler sampler(kd.view());
@@ -215,8 +196,7 @@ TEST(SketchConstruction, WeakAdmissibilityGivesHssBehaviour) {
 }
 
 TEST(SketchConstruction, FullyDenseTinyProblemNeedsNoSamples) {
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(50, 3, 14), 64));
+  auto tr = test_util::build_cube_tree(50, 3, 14, 64);
   kern::ExponentialKernel k(0.2);
   const Matrix kd = dense_kernel_matrix(*tr, k);
   kern::DenseMatrixSampler sampler(kd.view());
@@ -232,8 +212,7 @@ TEST(SketchConstruction, ReconstructsAnH2OperatorThroughItsOwnSampler) {
   // Chebyshev-built operator) and entries come from the same representation;
   // the sketched reconstruction must match that operator, with much smaller
   // adaptive ranks than the uniform Chebyshev rank.
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(800, 2, 15), 32));
+  auto tr = test_util::build_cube_tree(800, 2, 15, 32);
   kern::ExponentialKernel k(0.2);
   const h2::H2Matrix cheb =
       h2::build_cheb_h2(tr, Admissibility::general(0.7), k, /*q=*/5); // rank 25

@@ -1,0 +1,112 @@
+#include "batched/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/construction.hpp"
+#include "h2/h2_dense.hpp"
+#include "kernels/dense_sampler.hpp"
+#include "kernels/kernels.hpp"
+#include "test_common.hpp"
+
+/// ExecutionContext Naive-vs-Batched parity: the paper's §IV-A ablation
+/// mechanism. Both backends must produce bit-identical construction output;
+/// only the kernel-launch accounting differs (one launch per batch vs one
+/// launch per batch entry), which is what the ablation benchmarks report.
+
+namespace h2sketch::batched {
+namespace {
+
+using tree::Admissibility;
+
+TEST(ExecutionContext, RunBatchLaunchAccountingIsExact) {
+  const std::vector<index_t> batch_sizes = {7, 1, 0, 12, 3};
+  index_t expected_naive = 0, expected_batched = 0;
+  for (index_t b : batch_sizes) {
+    expected_naive += b;
+    if (b > 0) ++expected_batched;
+  }
+
+  for (Backend backend : {Backend::Naive, Backend::Batched}) {
+    ExecutionContext ctx(backend);
+    std::atomic<index_t> visits{0};
+    for (index_t b : batch_sizes)
+      ctx.run_batch(b, [&](index_t) { visits.fetch_add(1, std::memory_order_relaxed); });
+    // Every entry executes exactly once regardless of backend.
+    EXPECT_EQ(visits.load(), expected_naive);
+    EXPECT_EQ(ctx.kernel_launches(),
+              backend == Backend::Naive ? expected_naive : expected_batched);
+  }
+}
+
+TEST(ExecutionContext, RunBatchVisitsEveryIndexOnce) {
+  for (Backend backend : {Backend::Naive, Backend::Batched}) {
+    ExecutionContext ctx(backend);
+    std::vector<std::atomic<int>> hits(64);
+    ctx.run_batch(64, [&](index_t i) { hits[static_cast<size_t>(i)].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+/// Full-construction parity on a 3D adaptive build (multiple sample rounds):
+/// the counter-based RNG and identical per-entry arithmetic make the two
+/// backends bit-identical end to end.
+TEST(ExecutionContext, ConstructionParityNaiveVsBatched3D) {
+  auto tr = test_util::build_cube_tree(512, 3, 77, 16);
+  kern::Matern32Kernel k(0.3);
+  const Matrix kd = test_util::dense_kernel_matrix(*tr, k);
+  kern::KernelEntryGenerator gen(*tr, k);
+  core::ConstructionOptions opts;
+  opts.tol = 1e-7;
+  opts.sample_block = 16;
+  opts.initial_samples = 32;
+
+  kern::DenseMatrixSampler sn(kd.view()), sb(kd.view());
+  ExecutionContext cn(Backend::Naive), cb(Backend::Batched);
+  auto rn = core::construct_h2(tr, Admissibility::general(0.7), sn, gen, opts, cn);
+  auto rb = core::construct_h2(tr, Admissibility::general(0.7), sb, gen, opts, cb);
+
+  EXPECT_EQ(max_abs_diff(h2::densify(rn.matrix).view(), h2::densify(rb.matrix).view()), 0.0);
+  EXPECT_EQ(rn.stats.total_samples, rb.stats.total_samples);
+  EXPECT_EQ(rn.stats.sample_rounds, rb.stats.sample_rounds);
+  EXPECT_GT(rn.stats.kernel_launches, rb.stats.kernel_launches);
+}
+
+/// The mechanism behind the paper's GPU speedups: naive launches scale with
+/// the number of blocks (so roughly linearly in N), batched launches with
+/// levels x operations (logarithmically). Growing N must widen the gap.
+TEST(ExecutionContext, LaunchGapWidensWithProblemSize) {
+  kern::ExponentialKernel k(0.2);
+  core::ConstructionOptions opts;
+  opts.tol = 1e-6;
+
+  auto launches = [&](index_t n, Backend backend) {
+    auto tr = test_util::build_cube_tree(n, 2, 78, 16);
+    const Matrix kd = test_util::dense_kernel_matrix(*tr, k);
+    kern::DenseMatrixSampler sampler(kd.view());
+    kern::KernelEntryGenerator gen(*tr, k);
+    ExecutionContext ctx(backend);
+    auto res = core::construct_h2(tr, Admissibility::general(0.7), sampler, gen, opts, ctx);
+    return res.stats.kernel_launches;
+  };
+
+  const index_t naive_small = launches(256, Backend::Naive);
+  const index_t naive_big = launches(1024, Backend::Naive);
+  const index_t batched_small = launches(256, Backend::Batched);
+  const index_t batched_big = launches(1024, Backend::Batched);
+
+  ASSERT_GT(batched_small, 0);
+  ASSERT_GT(naive_small, batched_small);
+  // Naive launch count grows much faster than the batched one (O(N) blocks
+  // vs O(levels) batches): compare growth factors at 4x the points.
+  const double naive_growth = static_cast<double>(naive_big) / static_cast<double>(naive_small);
+  const double batched_growth =
+      static_cast<double>(batched_big) / static_cast<double>(batched_small);
+  EXPECT_GT(naive_growth, 2.0);
+  EXPECT_LT(batched_growth, naive_growth);
+}
+
+} // namespace
+} // namespace h2sketch::batched

@@ -5,6 +5,7 @@
 
 #include "geometry/bounding_box.hpp"
 #include "geometry/point_cloud.hpp"
+#include "test_common.hpp"
 
 namespace h2sketch::geo {
 namespace {
@@ -47,7 +48,7 @@ TEST(PointCloud, SpherePointsOnUnitSphere) {
   for (index_t i = 0; i < pc.size(); ++i) {
     real_t r2 = 0;
     for (index_t d = 0; d < 3; ++d) r2 += pc.coord(i, d) * pc.coord(i, d);
-    EXPECT_NEAR(std::sqrt(r2), 1.0, 1e-12);
+    EXPECT_NEAR(std::sqrt(r2), 1.0, test_util::kTightTol);
   }
 }
 

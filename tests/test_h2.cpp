@@ -11,20 +11,13 @@
 #include "kernels/dense_sampler.hpp"
 #include "kernels/kernels.hpp"
 #include "la/blas.hpp"
+#include "test_common.hpp"
 
 namespace h2sketch::h2 {
 namespace {
 
-/// Dense kernel matrix in permuted space, the ground truth.
-Matrix dense_kernel_matrix(const tree::ClusterTree& t, const kern::KernelFunction& k) {
-  const index_t n = t.num_points();
-  kern::KernelEntryGenerator gen(t, k);
-  std::vector<index_t> all(static_cast<size_t>(n));
-  for (index_t i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
-  Matrix kd(n, n);
-  gen.generate_block(all, all, kd.view());
-  return kd;
-}
+using test_util::dense_kernel_matrix;
+using test_util::rel_fro_error;
 
 struct ChebCase {
   index_t n;
@@ -40,8 +33,7 @@ class ChebH2 : public ::testing::TestWithParam<ChebCase> {
  protected:
   void SetUp() override {
     const auto p = GetParam();
-    tree_ = std::make_shared<tree::ClusterTree>(
-        tree::ClusterTree::build(geo::uniform_random_cube(p.n, p.dim, p.seed), p.leaf));
+    tree_ = test_util::build_cube_tree(p.n, p.dim, p.seed, p.leaf);
     kernel_ = std::make_unique<kern::ExponentialKernel>(0.2);
     a_ = build_cheb_h2(tree_, tree::Admissibility::general(p.eta), *kernel_, p.q);
   }
@@ -53,16 +45,7 @@ class ChebH2 : public ::testing::TestWithParam<ChebCase> {
 TEST_P(ChebH2, DensifyApproximatesKernelMatrix) {
   const Matrix kd = dense_kernel_matrix(*tree_, *kernel_);
   const Matrix ad = densify(a_);
-  const real_t err = la::norm_f(
-      [&] {
-        Matrix d = to_matrix(ad.view());
-        la::gemm(-1.0, kd.view(), la::Op::None, Matrix::identity(kd.rows()).view(), la::Op::None,
-                 1.0, d.view());
-        return d;
-      }()
-          .view()) /
-      la::norm_f(kd.view());
-  EXPECT_LT(err, GetParam().expected_err);
+  EXPECT_LT(rel_fro_error(ad.view(), kd.view()), GetParam().expected_err);
 }
 
 TEST_P(ChebH2, MatvecMatchesDensify) {
@@ -72,7 +55,7 @@ TEST_P(ChebH2, MatvecMatchesDensify) {
   fill_gaussian(x.view(), GaussianStream(11));
   h2_matvec(a_, x.view(), y.view());
   la::gemm(1.0, ad.view(), la::Op::None, x.view(), la::Op::None, 0.0, ref.view());
-  EXPECT_LT(max_abs_diff(y.view(), ref.view()), 1e-10 * la::norm_f(ad.view()));
+  EXPECT_LT(max_abs_diff(y.view(), ref.view()), test_util::kMatvecRelTol * la::norm_f(ad.view()));
 }
 
 TEST_P(ChebH2, EntryEvalMatchesDensify) {
@@ -82,7 +65,7 @@ TEST_P(ChebH2, EntryEvalMatchesDensify) {
   SmallRng rng(13);
   for (int trial = 0; trial < 200; ++trial) {
     const index_t i = rng.next_index(n), j = rng.next_index(n);
-    EXPECT_NEAR(gen.entry(i, j), ad(i, j), 1e-11) << "(" << i << "," << j << ")";
+    EXPECT_NEAR(gen.entry(i, j), ad(i, j), test_util::kEntryTol) << "(" << i << "," << j << ")";
   }
 }
 
@@ -98,7 +81,7 @@ TEST_P(ChebH2, BlockEntryEvalMatchesDensify) {
   gen.generate_block(rows, cols, out.view());
   for (index_t i = 0; i < 7; ++i)
     for (index_t j = 0; j < 5; ++j)
-      EXPECT_NEAR(out(i, j), ad(rows[static_cast<size_t>(i)], cols[static_cast<size_t>(j)]), 1e-11);
+      EXPECT_NEAR(out(i, j), ad(rows[static_cast<size_t>(i)], cols[static_cast<size_t>(j)]), test_util::kEntryTol);
 }
 
 TEST_P(ChebH2, ValidatePassesAndMemoryIsAccounted) {
@@ -114,21 +97,15 @@ INSTANTIATE_TEST_SUITE_P(
                       ChebCase{128, 1, 16, 6, 0.7, 1e-7, 5}));
 
 TEST(ChebH2Single, HelmholtzKernelAlsoCompresses) {
-  auto tr = std::make_shared<tree::ClusterTree>(
-      tree::ClusterTree::build(geo::uniform_random_cube(256, 3, 21), 32));
+  auto tr = test_util::build_cube_tree(256, 3, 21, 32);
   kern::HelmholtzCosKernel k(3.0);
   const H2Matrix a = build_cheb_h2(tr, tree::Admissibility::general(0.7), k, 5);
   const Matrix kd = dense_kernel_matrix(*tr, k);
-  const Matrix ad = densify(a);
-  Matrix diff = to_matrix(ad.view());
-  for (index_t j = 0; j < diff.cols(); ++j)
-    for (index_t i = 0; i < diff.rows(); ++i) diff(i, j) -= kd(i, j);
-  EXPECT_LT(la::norm_f(diff.view()) / la::norm_f(kd.view()), 5e-3);
+  EXPECT_LT(rel_fro_error(densify(a).view(), kd.view()), 5e-3);
 }
 
 TEST(H2Sampler, CountsSamplesAndMatchesMatvec) {
-  auto tr = std::make_shared<tree::ClusterTree>(
-      tree::ClusterTree::build(geo::uniform_random_cube(200, 3, 22), 32));
+  auto tr = test_util::build_cube_tree(200, 3, 22, 32);
   kern::ExponentialKernel k(0.2);
   const H2Matrix a = build_cheb_h2(tr, tree::Admissibility::general(0.7), k, 4);
   H2Sampler s(a);
@@ -142,8 +119,7 @@ TEST(H2Sampler, CountsSamplesAndMatchesMatvec) {
 }
 
 TEST(UpdatedH2, SamplerAndEntryGenAreConsistent) {
-  auto tr = std::make_shared<tree::ClusterTree>(
-      tree::ClusterTree::build(geo::uniform_random_cube(150, 3, 24), 32));
+  auto tr = test_util::build_cube_tree(150, 3, 24, 32);
   kern::ExponentialKernel k(0.2);
   const H2Matrix a = build_cheb_h2(tr, tree::Admissibility::general(0.7), k, 4);
   const la::LowRank lr = la::random_lowrank(150, 150, 8, 0.5, 99);
@@ -169,20 +145,19 @@ TEST(UpdatedH2, SamplerAndEntryGenAreConsistent) {
     Matrix out(1, 1);
     std::vector<index_t> ri = {i}, cj = {j};
     gen.generate_block(ri, cj, out.view());
-    EXPECT_NEAR(out(0, 0), ref(i, j), 1e-11);
+    EXPECT_NEAR(out(0, 0), ref(i, j), test_util::kEntryTol);
   }
 }
 
 TEST(H2Matrix, SingleLevelDenseOnlyMatrixWorks) {
   // N small enough that the tree is a single node: everything is dense.
-  auto tr = std::make_shared<tree::ClusterTree>(
-      tree::ClusterTree::build(geo::uniform_random_cube(40, 3, 27), 64));
+  auto tr = test_util::build_cube_tree(40, 3, 27, 64);
   kern::ExponentialKernel k(0.2);
   const H2Matrix a = build_cheb_h2(tr, tree::Admissibility::general(0.7), k, 3);
   EXPECT_FALSE(a.mtree.has_any_far());
   const Matrix kd = dense_kernel_matrix(*tr, k);
   const Matrix ad = densify(a);
-  EXPECT_LT(max_abs_diff(ad.view(), kd.view()), 1e-14);
+  EXPECT_LT(max_abs_diff(ad.view(), kd.view()), test_util::kExactTol);
   Matrix x(40, 2), y(40, 2), ref(40, 2);
   fill_gaussian(x.view(), GaussianStream(28));
   h2_matvec(a, x.view(), y.view());
@@ -194,8 +169,7 @@ TEST(H2Matrix, MemoryGrowsWithProblemSize) {
   kern::ExponentialKernel k(0.2);
   std::size_t prev = 0;
   for (index_t n : {256, 512, 1024}) {
-    auto tr = std::make_shared<tree::ClusterTree>(
-        tree::ClusterTree::build(geo::uniform_random_cube(n, 3, 29), 32));
+    auto tr = test_util::build_cube_tree(n, 3, 29, 32);
     const H2Matrix a = build_cheb_h2(tr, tree::Admissibility::general(0.7), k, 3);
     EXPECT_GT(a.memory_bytes(), prev);
     prev = a.memory_bytes();

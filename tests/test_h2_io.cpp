@@ -12,6 +12,7 @@
 #include "kernels/dense_sampler.hpp"
 #include "kernels/kernels.hpp"
 #include "la/blas.hpp"
+#include "test_common.hpp"
 
 namespace h2sketch::h2 {
 namespace {
@@ -20,15 +21,13 @@ using tree::Admissibility;
 using tree::ClusterTree;
 
 H2Matrix make_cheb(index_t n, std::uint64_t seed) {
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(n, 2, seed), 16));
+  auto tr = test_util::build_cube_tree(n, 2, seed, 16);
   kern::ExponentialKernel k(0.2);
   return build_cheb_h2(tr, Admissibility::general(0.7), k, 3);
 }
 
 H2Matrix make_sketched(index_t n, std::uint64_t seed) {
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(n, 2, seed), 16));
+  auto tr = test_util::build_cube_tree(n, 2, seed, 16);
   kern::Matern32Kernel k(0.3);
   kern::KernelMatVecSampler sampler(*tr, k);
   kern::KernelEntryGenerator gen(*tr, k);
@@ -69,6 +68,31 @@ TEST(H2Io, FileRoundTrip) {
   const H2Matrix b = load_h2_file(path);
   EXPECT_EQ(max_abs_diff(densify(a).view(), densify(b).view()), 0.0);
   std::remove(path.c_str());
+}
+
+TEST(H2Io, FileRoundTripThenMatvecMatchesDenseTruth) {
+  // Save/load must preserve the operator itself, not just the bytes: the
+  // loaded matrix's matvec is checked against the dense kernel ground truth.
+  auto tr = test_util::build_cube_tree(300, 2, 86, 16);
+  kern::ExponentialKernel k(0.2);
+  const H2Matrix a = build_cheb_h2(tr, Admissibility::general(0.7), k, 4);
+  const std::string path = "h2io_matvec_test.bin";
+  save_h2_file(path, a);
+  const H2Matrix b = load_h2_file(path);
+  std::remove(path.c_str());
+  b.validate();
+
+  const Matrix kd = test_util::dense_kernel_matrix(*tr, k);
+  const index_t n = tr->num_points();
+  Matrix x(n, 3), y(n, 3), ref(n, 3);
+  fill_gaussian(x.view(), GaussianStream(87));
+  h2_matvec(b, x.view(), y.view());
+  la::gemm(1.0, kd.view(), la::Op::None, x.view(), la::Op::None, 0.0, ref.view());
+  // Loaded operator approximates the kernel exactly as well as the saved one.
+  EXPECT_LT(test_util::rel_fro_error(y.view(), ref.view()), 1e-3);
+  Matrix ya(n, 3);
+  h2_matvec(a, x.view(), ya.view());
+  EXPECT_EQ(max_abs_diff(y.view(), ya.view()), 0.0);
 }
 
 TEST(H2Io, BadMagicThrows) {

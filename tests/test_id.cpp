@@ -7,25 +7,13 @@
 
 #include "common/random.hpp"
 #include "la/blas.hpp"
+#include "test_common.hpp"
 
 namespace h2sketch::la {
 namespace {
 
-Matrix random_matrix(index_t m, index_t n, std::uint64_t seed) {
-  Matrix a(m, n);
-  SmallRng rng(seed);
-  for (index_t j = 0; j < n; ++j)
-    for (index_t i = 0; i < m; ++i) a(i, j) = rng.next_gaussian();
-  return a;
-}
-
-Matrix rank_r_matrix(index_t m, index_t n, index_t r, std::uint64_t seed) {
-  const Matrix u = random_matrix(m, r, seed);
-  const Matrix v = random_matrix(r, n, seed + 1);
-  Matrix a(m, n);
-  gemm(1.0, u.view(), Op::None, v.view(), Op::None, 0.0, a.view());
-  return a;
-}
+using test_util::random_matrix;
+using test_util::rank_r_matrix;
 
 struct IdCase {
   index_t m, n, r;

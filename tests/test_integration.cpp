@@ -12,6 +12,7 @@
 #include "kernels/dense_sampler.hpp"
 #include "kernels/kernels.hpp"
 #include "la/blas.hpp"
+#include "test_common.hpp"
 
 /// End-to-end pipeline tests at sizes where O(N^2) oracles are avoided, plus
 /// determinism, configuration knobs and failure-injection cases.
@@ -27,8 +28,7 @@ TEST(Integration, FullPipelineMatvecAgreesWithInputOperator) {
   // Chebyshev input -> sketching reconstruction -> compare matvecs only
   // (no densify), so this runs at N beyond the dense-oracle tests.
   const index_t n = 6000;
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(n, 3, 61), 32));
+  auto tr = test_util::build_cube_tree(n, 3, 61, 32);
   kern::ExponentialKernel k(0.2);
   const h2::H2Matrix input = h2::build_cheb_h2(tr, Admissibility::general(0.9), k, 3);
   h2::H2Sampler sampler(input);
@@ -55,8 +55,7 @@ TEST(Integration, FullPipelineMatvecAgreesWithInputOperator) {
 TEST(Integration, EntryEvalOfSketchBuiltMatrixMatchesDensify) {
   // The constructed H2 has non-uniform, possibly zero ranks; its entry
   // generator must still reproduce every entry.
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(600, 2, 63), 16));
+  auto tr = test_util::build_cube_tree(600, 2, 63, 16);
   kern::Matern32Kernel k(0.3);
   kern::KernelMatVecSampler sampler(*tr, k);
   kern::KernelEntryGenerator gen(*tr, k);
@@ -70,13 +69,12 @@ TEST(Integration, EntryEvalOfSketchBuiltMatrixMatchesDensify) {
   SmallRng rng(64);
   for (int t = 0; t < 300; ++t) {
     const index_t i = rng.next_index(600), j = rng.next_index(600);
-    EXPECT_NEAR(eg.entry(i, j), dense(i, j), 1e-11);
+    EXPECT_NEAR(eg.entry(i, j), dense(i, j), test_util::kEntryTol);
   }
 }
 
 TEST(Integration, ConstructionIsDeterministicAcrossRuns) {
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(500, 2, 65), 16));
+  auto tr = test_util::build_cube_tree(500, 2, 65, 16);
   kern::ExponentialKernel k(0.2);
   kern::KernelMatVecSampler s1(*tr, k), s2(*tr, k);
   kern::KernelEntryGenerator gen(*tr, k);
@@ -89,8 +87,7 @@ TEST(Integration, ConstructionIsDeterministicAcrossRuns) {
 }
 
 TEST(Integration, SeedChangesSamplesButNotQuality) {
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(500, 2, 66), 16));
+  auto tr = test_util::build_cube_tree(500, 2, 66, 16);
   kern::ExponentialKernel k(0.2);
   kern::KernelMatVecSampler s1(*tr, k), s2(*tr, k);
   kern::KernelEntryGenerator gen(*tr, k);
@@ -108,8 +105,7 @@ TEST(Integration, SeedChangesSamplesButNotQuality) {
 }
 
 TEST(Integration, GivenNormEstimateIsHonored) {
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(400, 2, 67), 16));
+  auto tr = test_util::build_cube_tree(400, 2, 67, 16);
   kern::ExponentialKernel k(0.2);
   kern::KernelMatVecSampler sampler(*tr, k);
   kern::KernelEntryGenerator gen(*tr, k);
@@ -122,8 +118,7 @@ TEST(Integration, GivenNormEstimateIsHonored) {
 }
 
 TEST(Integration, TighterIdToleranceFactorRaisesRanks) {
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(600, 2, 68), 16));
+  auto tr = test_util::build_cube_tree(600, 2, 68, 16);
   kern::ExponentialKernel k(0.2);
   kern::KernelMatVecSampler s1(*tr, k), s2(*tr, k);
   kern::KernelEntryGenerator gen(*tr, k);
@@ -136,8 +131,7 @@ TEST(Integration, TighterIdToleranceFactorRaisesRanks) {
 }
 
 TEST(Integration, HugeToleranceYieldsTinyRanksButValidStructure) {
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(500, 2, 69), 16));
+  auto tr = test_util::build_cube_tree(500, 2, 69, 16);
   kern::ExponentialKernel k(0.2);
   kern::KernelMatVecSampler sampler(*tr, k);
   kern::KernelEntryGenerator gen(*tr, k);
@@ -153,8 +147,7 @@ TEST(Integration, HugeToleranceYieldsTinyRanksButValidStructure) {
 }
 
 TEST(Integration, SamplerSizeMismatchThrows) {
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(100, 2, 71), 16));
+  auto tr = test_util::build_cube_tree(100, 2, 71, 16);
   Matrix wrong(50, 50);
   kern::DenseMatrixSampler sampler(wrong.view());
   kern::KernelEntryGenerator gen(*tr, kern::ExponentialKernel(0.2));
@@ -189,8 +182,7 @@ TEST(Integration, DuplicatePointsCompressFine) {
 }
 
 TEST(Integration, SampleCapReportedWhenImpossiblyTight) {
-  auto tr = std::make_shared<ClusterTree>(
-      ClusterTree::build(geo::uniform_random_cube(800, 2, 73), 16));
+  auto tr = test_util::build_cube_tree(800, 2, 73, 16);
   kern::ExponentialKernel k(0.01); // essentially diagonal: high local rank
   kern::KernelMatVecSampler sampler(*tr, k);
   kern::KernelEntryGenerator gen(*tr, k);

@@ -8,6 +8,7 @@
 #include "kernels/dense_sampler.hpp"
 #include "kernels/entry_gen.hpp"
 #include "la/blas.hpp"
+#include "test_common.hpp"
 
 namespace h2sketch::kern {
 namespace {
@@ -58,8 +59,7 @@ TEST(Kernels, LaplaceSingularityGuardedByDiagonal) {
 class EntryGenFixture : public ::testing::Test {
  protected:
   void SetUp() override {
-    tree_ = std::make_shared<tree::ClusterTree>(
-        tree::ClusterTree::build(geo::uniform_random_cube(100, 3, 3), 16));
+    tree_ = test_util::build_cube_tree(100, 3, 3, 16);
     kernel_ = std::make_unique<ExponentialKernel>(0.2);
     gen_ = std::make_unique<KernelEntryGenerator>(*tree_, *kernel_);
   }
@@ -123,10 +123,7 @@ TEST(DenseEntryGenerator, ReadsFromMatrix) {
 }
 
 TEST(DenseMatrixSampler, MatchesGemmAndCountsSamples) {
-  Matrix a(6, 6);
-  SmallRng rng(4);
-  for (index_t j = 0; j < 6; ++j)
-    for (index_t i = 0; i < 6; ++i) a(i, j) = rng.next_gaussian();
+  const Matrix a = test_util::random_matrix(6, 6, 4);
   DenseMatrixSampler s(a.view());
   Matrix omega(6, 3), y(6, 3), ref(6, 3);
   fill_gaussian(omega.view(), GaussianStream(5));
@@ -139,16 +136,11 @@ TEST(DenseMatrixSampler, MatchesGemmAndCountsSamples) {
 }
 
 TEST(KernelMatVecSampler, MatchesDenseKernelMatrix) {
-  auto tr = std::make_shared<tree::ClusterTree>(
-      tree::ClusterTree::build(geo::uniform_random_cube(300, 3, 6), 32));
+  auto tr = test_util::build_cube_tree(300, 3, 6, 32);
   ExponentialKernel k(0.2);
   KernelMatVecSampler s(*tr, k);
   // Dense reference via the entry generator.
-  KernelEntryGenerator gen(*tr, k);
-  std::vector<index_t> all(300);
-  for (index_t i = 0; i < 300; ++i) all[static_cast<size_t>(i)] = i;
-  Matrix kd(300, 300);
-  gen.generate_block(all, all, kd.view());
+  const Matrix kd = test_util::dense_kernel_matrix(*tr, k);
   Matrix omega(300, 4), y(300, 4), ref(300, 4);
   fill_gaussian(omega.view(), GaussianStream(7));
   s.sample(omega.view(), y.view());

@@ -4,6 +4,7 @@
 
 #include "common/random.hpp"
 #include "la/blas.hpp"
+#include "test_common.hpp"
 
 namespace h2sketch::la {
 namespace {
@@ -11,10 +12,7 @@ namespace {
 TEST(LowRank, ApplyMatchesDensify) {
   const LowRank lr = random_lowrank(12, 9, 3, 1.0, 77);
   const Matrix d = lr.densify();
-  Matrix x(9, 4);
-  SmallRng rng(1);
-  for (index_t j = 0; j < 4; ++j)
-    for (index_t i = 0; i < 9; ++i) x(i, j) = rng.next_gaussian();
+  const Matrix x = test_util::random_matrix(9, 4, 1);
   Matrix y1(12, 4), y2(12, 4);
   lr.apply(2.0, x.view(), y1.view());
   gemm(2.0, d.view(), Op::None, x.view(), Op::None, 1.0, y2.view());

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "test_common.hpp"
+
 namespace h2sketch::tree {
 namespace {
 
@@ -19,7 +21,7 @@ class MatrixTreeProps : public ::testing::TestWithParam<MtCase> {
  protected:
   void SetUp() override {
     const auto p = GetParam();
-    tree_ = ClusterTree::build(geo::uniform_random_cube(p.n, p.dim, p.seed), p.leaf_size);
+    tree_ = test_util::cube_tree(p.n, p.dim, p.seed, p.leaf_size);
     mt_ = MatrixTree::build(tree_, Admissibility::general(p.eta));
   }
   ClusterTree tree_;
@@ -103,7 +105,7 @@ INSTANTIATE_TEST_SUITE_P(EtaSizesDims, MatrixTreeProps,
                                            MtCase{128, 3, 32, 0.3, 5}, MtCase{100, 3, 128, 0.7, 6}));
 
 TEST(MatrixTree, WeakAdmissibilityGivesHodlrPattern) {
-  const ClusterTree t = ClusterTree::build(geo::uniform_random_cube(256, 1, 7), 32);
+  const ClusterTree t = test_util::cube_tree(256, 1, 7, 32);
   const MatrixTree mt = MatrixTree::build(t, Admissibility::weak());
   // Exactly the 2^l off-diagonal sibling blocks per level below the root.
   for (index_t l = 1; l < mt.num_levels; ++l)
@@ -115,7 +117,7 @@ TEST(MatrixTree, WeakAdmissibilityGivesHodlrPattern) {
 }
 
 TEST(MatrixTree, SmallerEtaRefinesPartitioningAndGrowsCsp) {
-  const ClusterTree t = ClusterTree::build(geo::uniform_random_cube(2048, 3, 8), 32);
+  const ClusterTree t = test_util::cube_tree(2048, 3, 8, 32);
   const MatrixTree loose = MatrixTree::build(t, Admissibility::general(0.9));
   const MatrixTree tight = MatrixTree::build(t, Admissibility::general(0.3));
   // Paper Fig. 4(a)-(b): smaller eta -> more refined partitioning, larger Csp.
@@ -128,7 +130,7 @@ TEST(MatrixTree, CspBoundedForFixedEtaAcrossSizes) {
   // The sparsity constant must not grow with N (paper §II-A).
   index_t prev_csp = 0;
   for (index_t n : {512, 1024, 2048, 4096}) {
-    const ClusterTree t = ClusterTree::build(geo::uniform_random_cube(n, 3, 9), 32);
+    const ClusterTree t = test_util::cube_tree(n, 3, 9, 32);
     const MatrixTree mt = MatrixTree::build(t, Admissibility::general(0.7));
     if (n > 1024) EXPECT_LE(mt.csp(), prev_csp * 2);
     prev_csp = std::max(prev_csp, mt.csp());
@@ -170,7 +172,7 @@ TEST_P(MatrixTreeProps, EveryLevelPairIsNearXorFarDescendant) {
 }
 
 TEST(MatrixTree, SingleNodeTreeIsOneDenseBlock) {
-  const ClusterTree t = ClusterTree::build(geo::uniform_random_cube(30, 3, 64), 64);
+  const ClusterTree t = test_util::cube_tree(30, 3, 64, 64);
   const MatrixTree mt = MatrixTree::build(t, Admissibility::general(0.7));
   EXPECT_FALSE(mt.has_any_far());
   EXPECT_EQ(mt.near_leaf.count(), 1);

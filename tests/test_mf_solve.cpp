@@ -5,6 +5,7 @@
 #include "common/random.hpp"
 #include "la/blas.hpp"
 #include "sparse/multifrontal.hpp"
+#include "test_common.hpp"
 
 /// Multifrontal solve path: the full factorization (keep_factors) must solve
 /// A x = b to machine precision.
@@ -22,10 +23,8 @@ TEST_P(MfSolve, SolvesPoissonSystem) {
   opts.keep_factors = true;
   const MultifrontalResult mf = multifrontal_root_front(a, g, opts);
 
-  std::vector<real_t> b(static_cast<size_t>(a.n)), x(static_cast<size_t>(a.n)),
-      r(static_cast<size_t>(a.n));
-  SmallRng rng(5);
-  for (auto& v : b) v = rng.next_gaussian();
+  const std::vector<real_t> b = test_util::random_vector(a.n, 5);
+  std::vector<real_t> x(static_cast<size_t>(a.n)), r(static_cast<size_t>(a.n));
   mf.solve(b, x);
   a.spmv(x, r);
   real_t resid = 0, bnorm = 0;
@@ -48,9 +47,8 @@ TEST(MfSolve, MatchesDenseCholeskySolve) {
   opts.keep_factors = true;
   const MultifrontalResult mf = multifrontal_root_front(a, g, opts);
 
-  std::vector<real_t> b(static_cast<size_t>(a.n)), x(static_cast<size_t>(a.n));
-  SmallRng rng(6);
-  for (auto& v : b) v = rng.next_gaussian();
+  const std::vector<real_t> b = test_util::random_vector(a.n, 6);
+  std::vector<real_t> x(static_cast<size_t>(a.n));
   mf.solve(b, x);
 
   Matrix d = a.densify();

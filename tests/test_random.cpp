@@ -1,4 +1,5 @@
 #include "common/random.hpp"
+#include "test_common.hpp"
 
 #include <gtest/gtest.h>
 
@@ -37,8 +38,8 @@ TEST(GaussianStream, MomentsApproximatelyStandardNormal) {
   }
   const double mean = sum / n;
   const double var = sumsq / n - mean * mean;
-  EXPECT_NEAR(mean, 0.0, 0.02);
-  EXPECT_NEAR(var, 1.0, 0.03);
+  EXPECT_NEAR(mean, 0.0, test_util::kMeanTol);
+  EXPECT_NEAR(var, 1.0, test_util::kVarTol);
 }
 
 TEST(GaussianStream, UniformInOpenUnitInterval) {
@@ -104,8 +105,8 @@ TEST(SmallRng, GaussianMoments) {
     sum += v;
     sumsq += v * v;
   }
-  EXPECT_NEAR(sum / n, 0.0, 0.02);
-  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+  EXPECT_NEAR(sum / n, 0.0, test_util::kMeanTol);
+  EXPECT_NEAR(sumsq / n, 1.0, test_util::kVarTol);
 }
 
 } // namespace

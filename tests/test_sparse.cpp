@@ -4,6 +4,7 @@
 #include "la/blas.hpp"
 #include "sparse/multifrontal.hpp"
 #include "sparse/synthetic_front.hpp"
+#include "test_common.hpp"
 
 namespace h2sketch::sparse {
 namespace {
@@ -32,10 +33,8 @@ TEST(Csr, SpmvMatchesDense) {
   const Grid g{5, 4, 1};
   const CsrMatrix a = poisson_matrix(g);
   const Matrix d = a.densify();
-  std::vector<real_t> x(static_cast<size_t>(a.n)), y(static_cast<size_t>(a.n)),
-      yref(static_cast<size_t>(a.n));
-  SmallRng rng(1);
-  for (auto& v : x) v = rng.next_gaussian();
+  const std::vector<real_t> x = test_util::random_vector(a.n, 1);
+  std::vector<real_t> y(static_cast<size_t>(a.n)), yref(static_cast<size_t>(a.n));
   a.spmv(x, y);
   la::gemv(1.0, d.view(), la::Op::None, x, 0.0, yref);
   for (size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], yref[i], 1e-13);

@@ -4,17 +4,12 @@
 
 #include "common/random.hpp"
 #include "la/blas.hpp"
+#include "test_common.hpp"
 
 namespace h2sketch::la {
 namespace {
 
-Matrix random_matrix(index_t m, index_t n, std::uint64_t seed) {
-  Matrix a(m, n);
-  SmallRng rng(seed);
-  for (index_t j = 0; j < n; ++j)
-    for (index_t i = 0; i < m; ++i) a(i, j) = rng.next_gaussian();
-  return a;
-}
+using test_util::random_matrix;
 
 Matrix reconstruct(const Svd& s) {
   const index_t m = s.u.rows(), n = s.v.rows(), r = s.u.cols();

@@ -9,6 +9,7 @@
 #include "kernels/dense_sampler.hpp"
 #include "kernels/kernels.hpp"
 #include "la/blas.hpp"
+#include "test_common.hpp"
 
 /// Tests for the paper's third application: recompressing K_H2 + U V^T into
 /// a fresh H2 matrix via Algorithm 1 (Fig. 5(c) workload).
@@ -18,6 +19,7 @@ namespace {
 
 using tree::Admissibility;
 using tree::ClusterTree;
+using test_util::rel_fro_error;
 
 struct UpdateFixture {
   std::shared_ptr<ClusterTree> tr;
@@ -27,8 +29,7 @@ struct UpdateFixture {
   Matrix exact; ///< densify(base) + lr
 
   explicit UpdateFixture(index_t n, index_t rank, std::uint64_t seed) {
-    tr = std::make_shared<ClusterTree>(
-        ClusterTree::build(geo::uniform_random_cube(n, 2, seed), 32));
+    tr = test_util::build_cube_tree(n, 2, seed, 32);
     base = h2::build_cheb_h2(tr, Admissibility::general(0.7), kernel, 5);
     // Symmetric low-rank update U U^T keeps the operator symmetric, matching
     // the Schur-complement-update use case.
@@ -55,11 +56,7 @@ TEST(LowRankUpdate, RecompressionReachesTolerance) {
   ASSERT_TRUE(res.matrix.mtree.has_any_far());
 
   const Matrix rd = h2::densify(res.matrix);
-  Matrix diff = to_matrix(rd.view());
-  for (index_t j = 0; j < diff.cols(); ++j)
-    for (index_t i = 0; i < diff.rows(); ++i) diff(i, j) -= f.exact(i, j);
-  EXPECT_LT(la::norm_f(diff.view()) / la::norm_f(f.exact.view()), 1e-4)
-      << res.stats.summary();
+  EXPECT_LT(rel_fro_error(rd.view(), f.exact.view()), 1e-4) << res.stats.summary();
 }
 
 TEST(LowRankUpdate, UpdateRaisesRanksOverBase) {

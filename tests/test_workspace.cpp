@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/scan.hpp"
+#include "test_common.hpp"
 
 namespace h2sketch {
 namespace {
@@ -50,6 +51,38 @@ TEST(Workspace, FirstAllocationMayGrowLazily) {
   double* p = w.allocate<double>(256);
   EXPECT_NE(p, nullptr);
   EXPECT_GE(w.capacity_bytes(), 256 * sizeof(double));
+}
+
+TEST(Workspace, ArenaReuseAcrossManyResetCycles) {
+  // The per-level pattern of the batched backend: reserve once, then
+  // allocate/reset per level. The backing buffer must be handed out again
+  // unchanged every cycle with no further backing allocations.
+  Workspace w;
+  w.reserve_bytes(1 << 12);
+  double* first = nullptr;
+  for (int cycle = 0; cycle < 16; ++cycle) {
+    double* p = w.allocate<double>(256);
+    if (cycle == 0) first = p;
+    EXPECT_EQ(p, first);
+    // The handed-out range is writable storage for batch temporaries.
+    MatrixView v(p, 16, 16, 16);
+    copy(test_util::random_matrix(16, 16, static_cast<std::uint64_t>(cycle)).view(), v);
+    w.reset();
+  }
+  EXPECT_EQ(w.backing_allocations(), 1);
+  EXPECT_EQ(w.suballocations(), 16);
+}
+
+TEST(Workspace, ResetPreservesCapacityAndCounters) {
+  Workspace w;
+  w.reserve_bytes(2048);
+  (void)w.allocate<double>(32);
+  (void)w.allocate<double>(32);
+  const std::size_t cap = w.capacity_bytes();
+  w.reset();
+  EXPECT_EQ(w.used_bytes(), 0u);
+  EXPECT_EQ(w.capacity_bytes(), cap); // reset never shrinks the arena
+  EXPECT_EQ(w.suballocations(), 2);   // counters survive reset for reporting
 }
 
 TEST(Scan, ExclusiveScanOffsets) {
