@@ -1,0 +1,181 @@
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/random.hpp"
+#include "common/timer.hpp"
+#include "la/blas.hpp"
+#include "la/gemm_engine.hpp"
+
+/// \file bench_gemm.cpp
+/// GFLOP/s driver for the blocked GEMM engine against the retained naive
+/// reference, over the shape distribution the H2 construction actually
+/// generates:
+///   - square compute-bound products (the engine's headline case; the
+///     acceptance bar is >= 4x over naive at 512^3 single-threaded),
+///   - sketching-sized products n x l with l ~ rank + oversampling (leaf
+///     blocks times sample blocks — these must NOT regress, which is what
+///     the auto-dispatch cutover is for),
+///   - transfer/coupling-shaped skinny products and transposed combos from
+///     the upsweep and ID application.
+///
+/// Results go to BENCH_gemm.json. `--smoke` runs a reduced shape set with a
+/// correctness cross-check (used by CI under ASan so the packing paths are
+/// sanitizer-covered); `--smoke` exits non-zero on any mismatch.
+
+namespace {
+
+using namespace h2sketch;
+
+struct Shape {
+  index_t m, n, k;
+  la::Op oa, ob;
+  const char* what;
+};
+
+double time_gemm(bool blocked, index_t m, index_t n, index_t k, la::Op oa, la::Op ob,
+                 double min_seconds) {
+  Matrix av(oa == la::Op::None ? m : k, oa == la::Op::None ? k : m);
+  Matrix bv(ob == la::Op::None ? k : n, ob == la::Op::None ? n : k);
+  fill_gaussian(av.view(), GaussianStream(1));
+  fill_gaussian(bv.view(), GaussianStream(2));
+  Matrix c(m, n);
+  // One untimed warm-up (faults in C's pages, warms caches and the branch
+  // predictors), then repeat until the timed window is long enough to trust.
+  if (blocked)
+    la::gemm_blocked(1.0, av.view(), oa, bv.view(), ob, 0.0, c.view());
+  else
+    la::gemm_naive(1.0, av.view(), oa, bv.view(), ob, 0.0, c.view());
+  int reps = 0;
+  double elapsed = 0.0;
+  WallTimer t;
+  do {
+    if (blocked)
+      la::gemm_blocked(1.0, av.view(), oa, bv.view(), ob, 0.0, c.view());
+    else
+      la::gemm_naive(1.0, av.view(), oa, bv.view(), ob, 0.0, c.view());
+    ++reps;
+    elapsed = t.elapsed();
+  } while (elapsed < min_seconds);
+  return elapsed / reps;
+}
+
+const char* op_str(la::Op o) { return o == la::Op::None ? "N" : "T"; }
+
+/// max |blocked - naive| for one shape with random alpha/beta; returns the
+/// error so --smoke can gate on it.
+real_t cross_check(index_t m, index_t n, index_t k, la::Op oa, la::Op ob) {
+  const Matrix a = [&] {
+    Matrix x(oa == la::Op::None ? m : k, oa == la::Op::None ? k : m);
+    fill_gaussian(x.view(), GaussianStream(11));
+    return x;
+  }();
+  const Matrix b = [&] {
+    Matrix x(ob == la::Op::None ? k : n, ob == la::Op::None ? n : k);
+    fill_gaussian(x.view(), GaussianStream(12));
+    return x;
+  }();
+  Matrix c0(m, n);
+  fill_gaussian(c0.view(), GaussianStream(13));
+  Matrix c1 = to_matrix(c0.view()), c2 = to_matrix(c0.view());
+  la::gemm_blocked(1.7, a.view(), oa, b.view(), ob, -0.3, c1.view());
+  la::gemm_naive(1.7, a.view(), oa, b.view(), ob, -0.3, c2.view());
+  return max_abs_diff(c1.view(), c2.view());
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = [&] {
+    for (int i = 1; i < argc; ++i)
+      if (std::strcmp(argv[i], "--smoke") == 0) return true;
+    return false;
+  }();
+
+  // The H2 construction's shape distribution: leaf sizes 32-256, sample
+  // blocks 16-64 (rank + oversampling), transfer stacks, plus the square
+  // compute-bound sizes that dominate dense sampling and densification.
+  std::vector<Shape> shapes = {
+      {64, 64, 64, la::Op::None, la::Op::None, "square-64"},
+      {128, 128, 128, la::Op::None, la::Op::None, "square-128"},
+      {256, 256, 256, la::Op::None, la::Op::None, "square-256"},
+      {512, 512, 512, la::Op::None, la::Op::None, "square-512"},
+      {64, 32, 64, la::Op::None, la::Op::None, "leaf-sample"},
+      {128, 32, 128, la::Op::None, la::Op::None, "leaf-sample-128"},
+      {256, 48, 256, la::Op::None, la::Op::None, "leaf-sample-256"},
+      {2048, 32, 2048, la::Op::None, la::Op::None, "dense-sketch"},
+      {64, 32, 16, la::Op::None, la::Op::None, "transfer-apply"},
+      {32, 32, 64, la::Op::Trans, la::Op::None, "basis-gram"},
+      {512, 48, 512, la::Op::Trans, la::Op::None, "sketch-tn"},
+      {256, 256, 32, la::Op::None, la::Op::Trans, "lowrank-outer"},
+      {512, 512, 512, la::Op::Trans, la::Op::Trans, "square-512-tt"},
+  };
+  if (smoke)
+    shapes = {{96, 96, 96, la::Op::None, la::Op::None, "square-96"},
+              {128, 40, 128, la::Op::None, la::Op::None, "leaf-sample"},
+              {70, 33, 129, la::Op::Trans, la::Op::Trans, "edge-tt"}};
+
+  const double min_seconds = smoke ? 0.01 : 0.25;
+
+  std::cout << std::left << std::setw(18) << "shape" << std::setw(16) << "m x n x k"
+            << std::setw(6) << "ops" << std::setw(12) << "naive GF/s" << std::setw(13)
+            << "blocked GF/s" << std::setw(9) << "speedup" << "\n";
+
+  std::ofstream json("BENCH_gemm.json");
+  json << "{\n  \"bench\": \"gemm\",\n  \"mode\": \"" << (smoke ? "smoke" : "full")
+       << "\",\n  \"shapes\": [\n";
+
+  bool ok = true;
+  double speedup_512 = 0.0;
+  for (size_t s = 0; s < shapes.size(); ++s) {
+    const auto& sh = shapes[s];
+    const real_t err = cross_check(sh.m, sh.n, sh.k, sh.oa, sh.ob);
+    // Errors from reordered summation scale like k * eps * |entries|; an
+    // indexing bug shows up as O(1).
+    const real_t tol = 1e-12 * static_cast<real_t>(sh.k);
+    if (err > tol) {
+      std::cerr << "MISMATCH at " << sh.what << ": max diff " << err << " > " << tol << "\n";
+      ok = false;
+    }
+    const double tn = time_gemm(false, sh.m, sh.n, sh.k, sh.oa, sh.ob, min_seconds);
+    const double tb = time_gemm(true, sh.m, sh.n, sh.k, sh.oa, sh.ob, min_seconds);
+    const double flops = 2.0 * static_cast<double>(sh.m) * static_cast<double>(sh.n) *
+                         static_cast<double>(sh.k);
+    const double gf_naive = flops / tn / 1e9, gf_blocked = flops / tb / 1e9;
+    const double speedup = tn / tb;
+    if (sh.m == 512 && sh.n == 512 && sh.k == 512 && sh.oa == la::Op::None &&
+        sh.ob == la::Op::None)
+      speedup_512 = speedup;
+
+    std::ostringstream dims;
+    dims << sh.m << "x" << sh.n << "x" << sh.k;
+    std::cout << std::left << std::setw(18) << sh.what << std::setw(16) << dims.str()
+              << std::setw(6) << (std::string(op_str(sh.oa)) + op_str(sh.ob)) << std::setw(12)
+              << std::setprecision(4) << gf_naive << std::setw(13) << gf_blocked << std::setw(9)
+              << std::setprecision(3) << speedup
+              << (la::gemm_use_blocked(sh.m, sh.n, sh.k) ? "" : "  [dispatch: naive]") << "\n";
+
+    json << "    {\"shape\": \"" << sh.what << "\", \"m\": " << sh.m << ", \"n\": " << sh.n
+         << ", \"k\": " << sh.k << ", \"op_a\": \"" << op_str(sh.oa) << "\", \"op_b\": \""
+         << op_str(sh.ob) << "\", \"gflops_naive\": " << gf_naive
+         << ", \"gflops_blocked\": " << gf_blocked << ", \"speedup\": " << speedup
+         << ", \"dispatch_blocked\": " << (la::gemm_use_blocked(sh.m, sh.n, sh.k) ? "true" : "false")
+         << ", \"max_abs_diff\": " << err << "}" << (s + 1 < shapes.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"speedup_512\": " << speedup_512 << ",\n  \"correct\": "
+       << (ok ? "true" : "false") << "\n}\n";
+
+  if (!smoke && speedup_512 > 0.0)
+    std::cout << "\n512^3 single-threaded speedup over naive: " << std::setprecision(3)
+              << speedup_512 << "x (acceptance bar: 4x)\n";
+  if (!ok) {
+    std::cerr << "bench_gemm: correctness cross-check FAILED\n";
+    return 1;
+  }
+  return 0;
+}

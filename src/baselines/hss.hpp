@@ -8,11 +8,20 @@
 /// positions its contribution ("the extension of the sketching-based
 /// construction algorithm for the HSS matrix [29] to strongly-admissible H2
 /// matrices"). Serves as the STRUMPACK-HSS line of Fig. 6(b).
+///
+/// NOTE: this is a THIN WRAPPER, not an independent HSS implementation. It
+/// forwards to `core::construct_h2` with `Admissibility::weak()` and changes
+/// nothing else — same adaptive sampling, same IDs, same H2 data structures
+/// (which subsume HSS when the coupling sparsity constant is 1). A genuine
+/// HSS baseline (dedicated generators, ULV factorization) is a ROADMAP item;
+/// `test_baselines.cpp` pins the wrapper equivalence so that a future real
+/// implementation shows up as an explicit behavioral diff.
 
 namespace h2sketch::baselines {
 
 /// construct_h2 under weak admissibility: every off-diagonal sibling pair is
-/// low-rank, with nested (HSS) bases.
+/// low-rank, with nested (HSS) bases. Identical to calling construct_h2 with
+/// Admissibility::weak() directly (see file comment).
 core::ConstructionResult construct_hss(std::shared_ptr<const tree::ClusterTree> tree,
                                        kern::MatVecSampler& sampler,
                                        const kern::EntryGenerator& gen,

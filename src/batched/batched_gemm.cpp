@@ -6,6 +6,10 @@ void batched_gemm(ExecutionContext& ctx, real_t alpha, std::span<const ConstMatr
                   la::Op op_a, std::span<const ConstMatrixView> b, la::Op op_b, real_t beta,
                   std::span<const MatrixView> c) {
   H2S_CHECK(a.size() == b.size() && a.size() == c.size(), "batched_gemm: batch size mismatch");
+  // Each entry goes through la::gemm's shape dispatch, so large entries hit
+  // the blocked pack-and-compute engine while sketching-sized ones stay on
+  // the naive kernels — the paper's CPU path (OpenMP loop around fast
+  // single-threaded BLAS) with per-entry kernel selection.
   ctx.run_batch(static_cast<index_t>(a.size()), [&](index_t i) {
     const auto ui = static_cast<size_t>(i);
     if (c[ui].empty()) return;

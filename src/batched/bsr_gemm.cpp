@@ -16,7 +16,9 @@ index_t bsr_gemm(ExecutionContext& ctx, real_t alpha, const_index_span row_ptr,
         std::max(max_per_row, row_ptr[static_cast<size_t>(r + 1)] - row_ptr[static_cast<size_t>(r)]);
 
   // Sub-launch k: the k-th block of each row (rows with fewer blocks skip).
-  // Each y[r] is touched by exactly one batch entry per sub-launch.
+  // Each y[r] is touched by exactly one batch entry per sub-launch. The
+  // per-block products route through la::gemm's engine dispatch, so wide
+  // sample blocks are computed by the blocked GEMM engine.
   for (index_t k = 0; k < max_per_row; ++k) {
     ctx.run_batch(rows, [&](index_t r) {
       const index_t base = row_ptr[static_cast<size_t>(r)];

@@ -2,95 +2,24 @@
 
 #include <cmath>
 
+#include "la/gemm_engine.hpp"
+
 namespace h2sketch::la {
 
 namespace {
 
-// C += alpha * A * B, all column-major, stride-1 inner loop over rows of C.
-void gemm_nn(real_t alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
-  for (index_t j = 0; j < c.cols; ++j) {
-    for (index_t k = 0; k < a.cols; ++k) {
-      const real_t bkj = alpha * b(k, j);
-      if (bkj == 0.0) continue;
-      const real_t* acol = a.data + k * a.ld;
-      real_t* ccol = c.data + j * c.ld;
-      for (index_t i = 0; i < c.rows; ++i) ccol[i] += acol[i] * bkj;
-    }
-  }
-}
+/// Column-block width for the blocked triangular solves and the threshold at
+/// which they take over from the scalar substitution loops: below that, the
+/// gemm updates are too small for the engine to win.
+constexpr index_t kTrsmBlock = 32;
 
-void gemm_tn(real_t alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
-  // C(i,j) += alpha * sum_k A(k,i) * B(k,j): dot of two columns, stride-1.
-  for (index_t j = 0; j < c.cols; ++j) {
-    const real_t* bcol = b.data + j * b.ld;
-    for (index_t i = 0; i < c.rows; ++i) {
-      const real_t* acol = a.data + i * a.ld;
-      real_t s = 0.0;
-      for (index_t k = 0; k < a.rows; ++k) s += acol[k] * bcol[k];
-      c(i, j) += alpha * s;
-    }
-  }
-}
+bool use_blocked_solve(index_t n, index_t nrhs) { return n > 2 * kTrsmBlock && nrhs >= 4; }
 
-void gemm_nt(real_t alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
-  // C(:,j) += alpha * sum_k A(:,k) * B(j,k)
-  for (index_t j = 0; j < c.cols; ++j) {
-    real_t* ccol = c.data + j * c.ld;
-    for (index_t k = 0; k < a.cols; ++k) {
-      const real_t bjk = alpha * b(j, k);
-      if (bjk == 0.0) continue;
-      const real_t* acol = a.data + k * a.ld;
-      for (index_t i = 0; i < c.rows; ++i) ccol[i] += acol[i] * bjk;
-    }
-  }
-}
-
-void gemm_tt(real_t alpha, ConstMatrixView a, ConstMatrixView b, MatrixView c) {
-  for (index_t j = 0; j < c.cols; ++j) {
-    for (index_t i = 0; i < c.rows; ++i) {
-      const real_t* acol = a.data + i * a.ld;
-      real_t s = 0.0;
-      for (index_t k = 0; k < a.rows; ++k) s += acol[k] * b(j, k);
-      c(i, j) += alpha * s;
-    }
-  }
-}
-
-} // namespace
-
-void gemm(real_t alpha, ConstMatrixView a, Op op_a, ConstMatrixView b, Op op_b, real_t beta,
-          MatrixView c) {
-  H2S_CHECK(op_rows(a, op_a) == c.rows && op_cols(b, op_b) == c.cols &&
-                op_cols(a, op_a) == op_rows(b, op_b),
-            "gemm: shape mismatch (" << op_rows(a, op_a) << "x" << op_cols(a, op_a) << ") * ("
-                                     << op_rows(b, op_b) << "x" << op_cols(b, op_b) << ") -> "
-                                     << c.rows << "x" << c.cols);
-  if (beta == 0.0) {
-    set_all(c, 0.0);
-  } else if (beta != 1.0) {
-    for (index_t j = 0; j < c.cols; ++j)
-      for (index_t i = 0; i < c.rows; ++i) c(i, j) *= beta;
-  }
-  if (c.rows == 0 || c.cols == 0 || op_cols(a, op_a) == 0 || alpha == 0.0) return;
-  if (op_a == Op::None && op_b == Op::None) gemm_nn(alpha, a, b, c);
-  else if (op_a == Op::Trans && op_b == Op::None) gemm_tn(alpha, a, b, c);
-  else if (op_a == Op::None && op_b == Op::Trans) gemm_nt(alpha, a, b, c);
-  else gemm_tt(alpha, a, b, c);
-}
-
-void gemv(real_t alpha, ConstMatrixView a, Op op_a, const_real_span x, real_t beta, real_span y) {
-  const index_t m = op_rows(a, op_a);
-  const index_t n = op_cols(a, op_a);
-  H2S_CHECK(static_cast<index_t>(x.size()) == n && static_cast<index_t>(y.size()) == m,
-            "gemv: shape mismatch");
-  ConstMatrixView xv(x.data(), n, 1, n == 0 ? 1 : n);
-  MatrixView yv(y.data(), m, 1, m == 0 ? 1 : m);
-  gemm(alpha, a, op_a, xv, Op::None, beta, yv);
-}
-
-void trsm_upper_left(ConstMatrixView r, Op op_r, MatrixView b, bool unit_diag) {
+/// Scalar back/forward substitution for op(R) X = B with upper-triangular R.
+/// Used standalone for small systems and as the diagonal-block solver of the
+/// blocked path.
+void trsm_upper_scalar(ConstMatrixView r, Op op_r, MatrixView b, bool unit_diag) {
   const index_t n = r.rows;
-  H2S_CHECK(r.rows == r.cols && b.rows == n, "trsm: shape mismatch");
   if (op_r == Op::None) {
     // Back substitution: solve R X = B.
     for (index_t j = 0; j < b.cols; ++j) {
@@ -108,6 +37,87 @@ void trsm_upper_left(ConstMatrixView r, Op op_r, MatrixView b, bool unit_diag) {
         for (index_t k = 0; k < i; ++k) s -= r(k, i) * b(k, j);
         b(i, j) = unit_diag ? s : s / r(i, i);
       }
+    }
+  }
+}
+
+/// Scalar forward substitution L Z = B for lower-triangular L.
+void lower_solve_scalar(ConstMatrixView l, MatrixView b) {
+  const index_t n = l.rows;
+  for (index_t j = 0; j < b.cols; ++j) {
+    for (index_t i = 0; i < n; ++i) {
+      real_t s = b(i, j);
+      for (index_t p = 0; p < i; ++p) s -= l(i, p) * b(p, j);
+      b(i, j) = s / l(i, i);
+    }
+  }
+}
+
+/// Scalar back substitution L^T X = B for lower-triangular L.
+void lower_trans_solve_scalar(ConstMatrixView l, MatrixView b) {
+  const index_t n = l.rows;
+  for (index_t j = 0; j < b.cols; ++j) {
+    for (index_t i = n - 1; i >= 0; --i) {
+      real_t s = b(i, j);
+      for (index_t p = i + 1; p < n; ++p) s -= l(p, i) * b(p, j);
+      b(i, j) = s / l(i, i);
+    }
+  }
+}
+
+} // namespace
+
+void gemm(real_t alpha, ConstMatrixView a, Op op_a, ConstMatrixView b, Op op_b, real_t beta,
+          MatrixView c) {
+  // Auto-dispatch: the blocked pack-and-compute engine for large products,
+  // the retained naive kernels for tiny/skinny shapes (both implement the
+  // full alpha/beta contract; see gemm_engine.hpp).
+  if (gemm_use_blocked(c.rows, c.cols, op_cols(a, op_a)))
+    gemm_blocked(alpha, a, op_a, b, op_b, beta, c);
+  else
+    gemm_naive(alpha, a, op_a, b, op_b, beta, c);
+}
+
+void gemv(real_t alpha, ConstMatrixView a, Op op_a, const_real_span x, real_t beta, real_span y) {
+  const index_t m = op_rows(a, op_a);
+  const index_t n = op_cols(a, op_a);
+  H2S_CHECK(static_cast<index_t>(x.size()) == n && static_cast<index_t>(y.size()) == m,
+            "gemv: shape mismatch");
+  // A single right-hand side never reuses a packed panel, so the blocked
+  // engine cannot win here; go straight to the naive kernels.
+  ConstMatrixView xv(x.data(), n, 1, n == 0 ? 1 : n);
+  MatrixView yv(y.data(), m, 1, m == 0 ? 1 : m);
+  gemm_naive(alpha, a, op_a, xv, Op::None, beta, yv);
+}
+
+void trsm_upper_left(ConstMatrixView r, Op op_r, MatrixView b, bool unit_diag) {
+  const index_t n = r.rows;
+  H2S_CHECK(r.rows == r.cols && b.rows == n, "trsm: shape mismatch");
+  if (n == 0 || b.cols == 0) return;
+  if (!use_blocked_solve(n, b.cols)) {
+    trsm_upper_scalar(r, op_r, b, unit_diag);
+    return;
+  }
+  // Blocked substitution: scalar-solve a kTrsmBlock diagonal block, then
+  // push its contribution into the remaining rows with a gemm the engine can
+  // accelerate.
+  if (op_r == Op::None) {
+    for (index_t i1 = n; i1 > 0;) {
+      const index_t nb = std::min(kTrsmBlock, i1);
+      const index_t i0 = i1 - nb;
+      if (i1 < n)
+        gemm(-1.0, r.block(i0, i1, nb, n - i1), Op::None, b.row_range(i1, n - i1), Op::None, 1.0,
+             b.row_range(i0, nb));
+      trsm_upper_scalar(r.block(i0, i0, nb, nb), Op::None, b.row_range(i0, nb), unit_diag);
+      i1 = i0;
+    }
+  } else {
+    for (index_t i0 = 0; i0 < n; i0 += kTrsmBlock) {
+      const index_t nb = std::min(kTrsmBlock, n - i0);
+      if (i0 > 0)
+        gemm(-1.0, r.block(0, i0, i0, nb), Op::Trans, b.row_range(0, i0), Op::None, 1.0,
+             b.row_range(i0, nb));
+      trsm_upper_scalar(r.block(i0, i0, nb, nb), Op::Trans, b.row_range(i0, nb), unit_diag);
     }
   }
 }
@@ -132,19 +142,29 @@ void cholesky(MatrixView a) {
 void cholesky_solve(ConstMatrixView l, MatrixView b) {
   const index_t n = l.rows;
   H2S_CHECK(l.rows == l.cols && b.rows == n, "cholesky_solve: shape mismatch");
-  // Forward: L z = b.
-  for (index_t j = 0; j < b.cols; ++j) {
-    for (index_t i = 0; i < n; ++i) {
-      real_t s = b(i, j);
-      for (index_t p = 0; p < i; ++p) s -= l(i, p) * b(p, j);
-      b(i, j) = s / l(i, i);
-    }
-    // Backward: L^T x = z.
-    for (index_t i = n - 1; i >= 0; --i) {
-      real_t s = b(i, j);
-      for (index_t p = i + 1; p < n; ++p) s -= l(p, i) * b(p, j);
-      b(i, j) = s / l(i, i);
-    }
+  if (n == 0 || b.cols == 0) return;
+  if (!use_blocked_solve(n, b.cols)) {
+    lower_solve_scalar(l, b);
+    lower_trans_solve_scalar(l, b);
+    return;
+  }
+  // Forward sweep L Z = B, top-down with gemm updates from solved blocks.
+  for (index_t i0 = 0; i0 < n; i0 += kTrsmBlock) {
+    const index_t nb = std::min(kTrsmBlock, n - i0);
+    if (i0 > 0)
+      gemm(-1.0, l.block(i0, 0, nb, i0), Op::None, b.row_range(0, i0), Op::None, 1.0,
+           b.row_range(i0, nb));
+    lower_solve_scalar(l.block(i0, i0, nb, nb), b.row_range(i0, nb));
+  }
+  // Backward sweep L^T X = Z, bottom-up.
+  for (index_t i1 = n; i1 > 0;) {
+    const index_t nb = std::min(kTrsmBlock, i1);
+    const index_t i0 = i1 - nb;
+    if (i1 < n)
+      gemm(-1.0, l.block(i1, i0, n - i1, nb), Op::Trans, b.row_range(i1, n - i1), Op::None, 1.0,
+           b.row_range(i0, nb));
+    lower_trans_solve_scalar(l.block(i0, i0, nb, nb), b.row_range(i0, nb));
+    i1 = i0;
   }
 }
 

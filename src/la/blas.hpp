@@ -8,6 +8,13 @@
 /// the single-threaded building blocks the batched backend loops over (the
 /// paper's CPU path wraps single-threaded BLAS in OpenMP loops; its GPU path
 /// calls MAGMA/KBLAS batched equivalents).
+///
+/// `gemm` auto-dispatches between the cache-blocked, register-tiled engine
+/// in gemm_engine.hpp and the retained naive triple-loop reference: large
+/// products take the packed path, tiny/skinny (sketching-sized) shapes stay
+/// scalar. `trsm_upper_left` and `cholesky_solve` switch to blocked
+/// substitution with gemm updates once the system/right-hand-side count is
+/// large enough for the engine to win.
 
 namespace h2sketch::la {
 
@@ -18,11 +25,13 @@ enum class Op { None, Trans };
 inline index_t op_rows(ConstMatrixView a, Op op) { return op == Op::None ? a.rows : a.cols; }
 inline index_t op_cols(ConstMatrixView a, Op op) { return op == Op::None ? a.cols : a.rows; }
 
-/// C = alpha * op(A) * op(B) + beta * C.
+/// C = alpha * op(A) * op(B) + beta * C. Dispatches to the blocked engine or
+/// the naive reference per shape (see gemm_engine.hpp).
 void gemm(real_t alpha, ConstMatrixView a, Op op_a, ConstMatrixView b, Op op_b, real_t beta,
           MatrixView c);
 
-/// y = alpha * op(A) * x + beta * y.
+/// y = alpha * op(A) * x + beta * y. Single right-hand side: always the
+/// naive kernels (a packed panel would never be reused).
 void gemv(real_t alpha, ConstMatrixView a, Op op_a, const_real_span x, real_t beta, real_span y);
 
 /// Solve op(R) * X = B in place for upper-triangular R (unit_diag selects an

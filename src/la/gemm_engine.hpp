@@ -1,0 +1,59 @@
+#pragma once
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+#include "la/blas.hpp"
+
+/// \file gemm_engine.hpp
+/// Cache-blocked, register-tiled GEMM engine (GotoBLAS/BLIS structure).
+///
+/// The engine packs operand panels into contiguous, zero-padded buffers and
+/// runs a fixed MR x NR register microkernel over them, so
+///   - the innermost loops are stride-1 and auto-vectorizable regardless of
+///     the leading dimensions of the caller's views,
+///   - all four transpose combinations are folded into the packing step: the
+///     microkernel only ever sees the no-transpose case,
+///   - edge tiles are handled by zero padding inside the packed panels, so
+///     the kernel itself is branch-free.
+///
+/// `la::gemm` auto-dispatches between this engine and the retained naive
+/// triple-loop kernels (`gemm_naive`): tiny or skinny products — e.g. the
+/// sketching-sized n x l multiplies with l ~ rank + oversampling — stay on
+/// the naive path where packing overhead would dominate; everything else
+/// goes through the blocked path. The batched backend and BSR products
+/// inherit the engine through `la::gemm`, matching the paper's CPU design of
+/// OpenMP loops around fast single-threaded BLAS.
+
+namespace h2sketch::la {
+
+/// Register-tile footprint of the microkernel: MR rows of C (the vectorized,
+/// stride-1 direction) by NR columns. MR*NR accumulators live in registers.
+inline constexpr index_t kGemmMR = 4;
+inline constexpr index_t kGemmNR = 8;
+
+/// Cache blocking: A panels are MC x KC (packed to L2-resident slivers of MR
+/// rows), B panels are KC x NC (streamed through L3/L2 in slivers of NR
+/// columns). See README "GEMM engine" for tuning notes.
+inline constexpr index_t kGemmMC = 128;
+inline constexpr index_t kGemmKC = 256;
+inline constexpr index_t kGemmNC = 2048;
+
+/// True when the blocked engine is expected to beat the naive kernels for a
+/// C(m x n) += op(A) * op(B) product with inner dimension k. Exposed so the
+/// fuzz suite and bench driver can exercise both sides of the cutover.
+bool gemm_use_blocked(index_t m, index_t n, index_t k);
+
+/// The retained scalar reference: C = alpha * op(A) * op(B) + beta * C as
+/// straight triple loops. This is the kernel the seed repo shipped; it stays
+/// as the correctness oracle for the fuzz suite and the baseline for
+/// bench_gemm speedup numbers.
+void gemm_naive(real_t alpha, ConstMatrixView a, Op op_a, ConstMatrixView b, Op op_b, real_t beta,
+                MatrixView c);
+
+/// The blocked engine: same contract as `gemm` / `gemm_naive`. Valid for all
+/// shapes (including empty); callers normally go through `la::gemm`, which
+/// picks the faster path per shape.
+void gemm_blocked(real_t alpha, ConstMatrixView a, Op op_a, ConstMatrixView b, Op op_b,
+                  real_t beta, MatrixView c);
+
+} // namespace h2sketch::la

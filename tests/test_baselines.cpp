@@ -107,6 +107,36 @@ TEST(Hss, WeakAdmissibilityViaAlgorithmOne) {
   EXPECT_EQ(res.matrix.mtree.csp(), 1);
 }
 
+TEST(Hss, IsExactlyWeakAdmissibilityConstructH2) {
+  // Pin the current behavior: construct_hss is a thin wrapper that forwards
+  // to construct_h2 with Admissibility::weak() and nothing else (see
+  // src/baselines/hss.hpp). Bitwise-equal outputs and identical stats are
+  // the baseline diff for a future dedicated HSS implementation — when that
+  // lands, this test is EXPECTED to change alongside it.
+  auto tr = test_util::build_cube_tree(512, 1, 47, 32);
+  kern::ExponentialKernel k(0.5);
+  const Matrix kd = dense_kernel_matrix(*tr, k);
+  // Separate generators: entries_generated is cumulative per generator.
+  kern::KernelEntryGenerator gen_hss(*tr, k), gen_h2(*tr, k);
+  core::ConstructionOptions opts;
+  opts.tol = 1e-7;
+  opts.sample_block = 16;
+  opts.initial_samples = 32;
+
+  kern::DenseMatrixSampler s_hss(kd.view()), s_h2(kd.view());
+  auto r_hss = construct_hss(tr, s_hss, gen_hss, opts);
+  auto r_h2 = core::construct_h2(tr, Admissibility::weak(), s_h2, gen_h2, opts);
+
+  EXPECT_EQ(max_abs_diff(h2::densify(r_hss.matrix).view(), h2::densify(r_h2.matrix).view()),
+            0.0);
+  EXPECT_EQ(r_hss.stats.total_samples, r_h2.stats.total_samples);
+  EXPECT_EQ(r_hss.stats.sample_rounds, r_h2.stats.sample_rounds);
+  EXPECT_EQ(r_hss.stats.max_rank, r_h2.stats.max_rank);
+  EXPECT_EQ(r_hss.stats.entries_generated, r_h2.stats.entries_generated);
+  // Weak admissibility == HSS structure: coupling sparsity constant 1.
+  EXPECT_EQ(r_hss.matrix.mtree.csp(), 1);
+}
+
 TEST(Hss, BottomUpNeedsFarFewerSamplesThanTopDownPeeling) {
   // Same operator, same weak-admissibility format: Algorithm 1 (bottom-up)
   // vs the top-down peeling construction. Bottom-up samples once for all
