@@ -9,6 +9,7 @@
 #include "common/matrix.hpp"
 #include "common/random.hpp"
 #include "common/timer.hpp"
+#include "bench_common.hpp"
 #include "la/blas.hpp"
 #include "la/gemm_engine.hpp"
 
@@ -91,11 +92,7 @@ real_t cross_check(index_t m, index_t n, index_t k, la::Op oa, la::Op ob) {
 } // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = [&] {
-    for (int i = 1; i < argc; ++i)
-      if (std::strcmp(argv[i], "--smoke") == 0) return true;
-    return false;
-  }();
+  const bool smoke = h2sketch::bench::has_flag(argc, argv, "--smoke");
 
   // The H2 construction's shape distribution: leaf sizes 32-256, sample
   // blocks 16-64 (rank + oversampling), transfer stacks, plus the square

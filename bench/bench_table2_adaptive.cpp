@@ -4,10 +4,23 @@
 /// "adaptive" rows start from a block of 32 and add blocks as the
 /// convergence test demands.
 
+#include <fstream>
+
 #include "bench_common.hpp"
 
 using namespace h2sketch;
 using namespace h2sketch::bench;
+
+namespace {
+
+struct Row {
+  std::string problem, mode;
+  index_t leaf = 0, sample_block = 0, total_samples = 0, min_rank = 0, max_rank = 0;
+  double time_s = 0.0, memory_mb = 0.0;
+  real_t rel_err = 0.0;
+};
+
+} // namespace
 
 int main(int argc, char** argv) {
   const bool large = has_flag(argc, argv, "--large");
@@ -20,6 +33,7 @@ int main(int argc, char** argv) {
   Table table("table2_adaptive", {"problem", "mode", "leaf", "sample_block", "time_s",
                                   "rank_range", "memory_MB", "total_samples", "rel_err"});
   table.print_header();
+  std::vector<Row> rows;
 
   for (const std::string which : {"cov", "ie"}) {
     for (index_t leaf : leaves) {
@@ -44,8 +58,33 @@ int main(int argc, char** argv) {
                    fmt(res.stats.total_seconds), fmt(res.stats.min_rank) + "-" +
                        fmt(res.stats.max_rank),
                    fmt_mb(res.stats.memory_bytes), fmt(res.stats.total_samples), fmt(err, 2)});
+        rows.push_back({which, mode == 0 ? "fixed" : "adaptive", leaf, opts.sample_block,
+                        res.stats.total_samples, res.stats.min_rank, res.stats.max_rank,
+                        res.stats.total_seconds,
+                        static_cast<double>(res.stats.memory_bytes) / (1024.0 * 1024.0), err});
       }
     }
+  }
+
+  // Reference record for the perf trajectory: the paper-shape checks above
+  // plus raw numbers, machine-readable.
+  {
+    std::ofstream json("BENCH_table2.json");
+    json << "{\n  \"bench\": \"table2_adaptive\",\n  \"n\": " << n
+         << ",\n  \"eta\": " << eta << ",\n  \"cheb_q\": " << cheb_q
+         << ",\n  \"hardware_threads\": " << std::thread::hardware_concurrency()
+         << ",\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      json << "    {\"problem\": \"" << r.problem << "\", \"mode\": \"" << r.mode
+           << "\", \"leaf\": " << r.leaf << ", \"sample_block\": " << r.sample_block
+           << ", \"time_s\": " << r.time_s << ", \"min_rank\": " << r.min_rank
+           << ", \"max_rank\": " << r.max_rank << ", \"memory_mb\": " << r.memory_mb
+           << ", \"total_samples\": " << r.total_samples << ", \"rel_err\": " << r.rel_err << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "\nwrote BENCH_table2.json\n";
   }
   std::cout << "\nShape checks (paper Table II): adaptive uses fewer total samples and runs\n"
                "faster than fixed; smaller leaves lower memory and time; adaptive errors are\n"

@@ -10,17 +10,39 @@
 /// Non-uniform batched matrix-matrix products: the MAGMA vbatched gemm
 /// stand-in. Every entry may have different dimensions; empty entries are
 /// skipped. One kernel launch in Batched mode.
+///
+/// Each operation has two forms:
+///  * a synchronous span form (views borrowed from the caller, completed on
+///    return) — the drop-in legacy API, and
+///  * an asynchronous stream form (view vectors *moved into the launch*,
+///    completed at `sync(stream)`) — the paper-shaped path where
+///    independent pipelines overlap. Views are POD handles; only the
+///    underlying matrix buffers must outlive the sync.
+/// Both chunk the batch by per-entry flop estimates, so a launch mixing a
+/// handful of huge root blocks with hundreds of leaf blocks load-balances
+/// instead of serializing behind one static chunk.
 
 namespace h2sketch::batched {
 
-/// C[i] = alpha * op(A[i]) * op(B[i]) + beta * C[i] for each batch entry.
+/// C[i] = alpha * op(A[i]) * op(B[i]) + beta * C[i] for each batch entry,
+/// enqueued as one launch on `stream`.
+void batched_gemm(ExecutionContext& ctx, StreamId stream, real_t alpha,
+                  std::vector<ConstMatrixView> a, la::Op op_a, std::vector<ConstMatrixView> b,
+                  la::Op op_b, real_t beta, std::vector<MatrixView> c);
+
+/// Synchronous form: completed on return.
 void batched_gemm(ExecutionContext& ctx, real_t alpha, std::span<const ConstMatrixView> a,
                   la::Op op_a, std::span<const ConstMatrixView> b, la::Op op_b, real_t beta,
                   std::span<const MatrixView> c);
 
 /// Gather rows per entry: dst[i] = src[i](rows[i], :) — the paper's
 /// batchedShrink, which restricts samples to the skeleton rows selected by
-/// the ID when sweeping to the next level.
+/// the ID when sweeping to the next level. Stream form.
+void batched_gather_rows(ExecutionContext& ctx, StreamId stream,
+                         std::vector<ConstMatrixView> src,
+                         std::vector<std::vector<index_t>> rows, std::vector<MatrixView> dst);
+
+/// Synchronous form: completed on return.
 void batched_gather_rows(ExecutionContext& ctx, std::span<const ConstMatrixView> src,
                          const std::vector<std::vector<index_t>>& rows,
                          std::span<const MatrixView> dst);

@@ -4,6 +4,9 @@ namespace h2sketch::batched {
 
 void batched_fill_gaussian(ExecutionContext& ctx, MatrixView a, const GaussianStream& stream,
                            std::uint64_t offset) {
+  // An empty fill is no launch — mirrors run_batch's uniform batch <= 0
+  // early-return so empty levels cost zero launches in both backends.
+  if (a.empty()) return;
   // Parallelize across columns; element addressing keeps the result
   // order-independent.
   ctx.count_launch(1);

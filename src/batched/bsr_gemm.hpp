@@ -1,6 +1,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "batched/device.hpp"
 #include "la/blas.hpp"
@@ -14,13 +15,22 @@
 /// the k-th block of every row, so each output row is written by at most one
 /// batch entry per launch — no atomics needed. Since Csp is a constant, the
 /// total launch count per level is O(Csp).
+///
+/// The sub-launches all land on the same stream: stream FIFO ordering makes
+/// their accumulation into y race-free without an internal barrier, and the
+/// whole product still overlaps with work on other streams.
 
 namespace h2sketch::batched {
 
-/// BSR product accumulating into y (see file comment). `row_ptr` has one
-/// entry per row plus one; `blocks` holds one view per CSR entry; `x` one
-/// view per column node; `y` one view per row node. Returns the number of
-/// sub-launches used (== max blocks per row).
+/// Stream form: the CSR pattern and view vectors are moved into the
+/// launches; underlying buffers must stay alive until the stream is synced.
+/// Returns the number of sub-launches used (== max blocks per row).
+index_t bsr_gemm(ExecutionContext& ctx, StreamId stream, real_t alpha,
+                 std::vector<index_t> row_ptr, std::vector<index_t> col,
+                 std::vector<ConstMatrixView> blocks, std::vector<ConstMatrixView> x,
+                 std::vector<MatrixView> y);
+
+/// Synchronous form: completed on return.
 index_t bsr_gemm(ExecutionContext& ctx, real_t alpha, const_index_span row_ptr,
                  const_index_span col, std::span<const ConstMatrixView> blocks,
                  std::span<const ConstMatrixView> x, std::span<const MatrixView> y);

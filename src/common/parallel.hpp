@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 
 #if defined(_OPENMP)
@@ -9,33 +11,42 @@
 #endif
 
 /// \file parallel.hpp
-/// Shared-memory parallel loop wrappers. The batched "GPU-model" backend
-/// maps each batch entry to one loop iteration — exactly the paper's CPU
-/// path (OpenMP parallel loops around single-threaded kernels).
+/// Shared-memory parallel loop wrappers. `parallel_for` is a thin shim over
+/// the persistent work-stealing pool (thread_pool.hpp): no per-launch
+/// fork/join, cooperative waiting, chunk boundaries derived from the trip
+/// count only (bitwise-deterministic for any thread count). In
+/// RuntimeMode::FlatOpenMP the pool reverts to the legacy
+/// `#pragma omp parallel for schedule(static)` fork/join so benchmarks can
+/// measure the runtime against its own pre-stream baseline.
 
 namespace h2sketch {
 
-/// Number of hardware threads OpenMP will use (1 when built without OpenMP).
+/// Requested parallel width. OpenMP builds: OMP_NUM_THREADS /
+/// omp_set_num_threads, the user-facing knob, re-read at every parallel
+/// region so mid-process changes take effect (the thread-count-varying
+/// determinism and scaling tests depend on this never being overridden).
+/// OpenMP-free builds (e.g. the TSan configuration, where libgomp's lack
+/// of instrumentation forces OpenMP off): H2SKETCH_NUM_THREADS, else 1.
 inline int num_threads() {
 #if defined(_OPENMP)
   return omp_get_max_threads();
 #else
-  return 1;
+  static const int env_width = [] {
+    if (const char* s = std::getenv("H2SKETCH_NUM_THREADS")) {
+      const int v = std::atoi(s);
+      if (v > 0) return v;
+    }
+    return 0;
+  }();
+  return env_width > 0 ? env_width : 1;
 #endif
 }
 
-/// Apply f(i) for i in [0, n) with OpenMP when available.
+/// Apply f(i) for i in [0, n) on the persistent pool.
 /// f must be safe to run concurrently for distinct i.
 template <typename F>
 void parallel_for(index_t n, F&& f) {
-#if defined(_OPENMP)
-  // Static scheduling: batch entries are small; per-iteration dispatch
-  // overhead dominates any imbalance win from dynamic scheduling.
-#pragma omp parallel for schedule(static)
-  for (index_t i = 0; i < n; ++i) f(i);
-#else
-  for (index_t i = 0; i < n; ++i) f(i);
-#endif
+  ThreadPool::global().parallel_for(n, std::forward<F>(f));
 }
 
 /// Serial loop with the same shape (the Naive backend uses this so both

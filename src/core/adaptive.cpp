@@ -21,6 +21,12 @@ real_t H2SketchBuilder::eps_abs() const { return opts_.tol * stats_.norm_estimat
 
 void H2SketchBuilder::sample_columns(index_t d_new) {
   PhaseScope scope(stats_.phases, Phase::Sampling);
+  // Appending columns reallocates (Omega, Y); any in-flight launch from the
+  // previous round may still hold views into them, so this is a barrier.
+  // The initial round (d_total_ == 0) skips it: nothing references the
+  // still-empty matrices, which lets the first sampler product overlap the
+  // asynchronous near-field generation.
+  if (d_total_ > 0) ctx_.sync_all();
   const index_t n = tree_->num_points();
   const index_t c0 = d_total_;
   append_cols(omega_global_, d_new);
@@ -47,6 +53,10 @@ void H2SketchBuilder::sample_columns(index_t d_new) {
 }
 
 void H2SketchBuilder::extend_yloc(index_t level, index_t c0, index_t dn) {
+  // Consumer of all three pipelines: the near-field / coupling blocks
+  // (entry-gen stream), the upswept samples (sample stream) and the upswept
+  // random vectors (basis stream) all feed the local sample assembly below.
+  ctx_.sync_all();
   const index_t leaf = tree_->leaf_level();
   const index_t nodes = tree_->nodes_at(level);
   const auto ul = static_cast<size_t>(level);
@@ -90,7 +100,13 @@ void H2SketchBuilder::extend_yloc(index_t level, index_t c0, index_t dn) {
             omega_global_.view().block(tree_->begin(level, i), c0, tree_->size(level, i), dn));
         yv.push_back(yl[static_cast<size_t>(i)].view().col_range(c0, dn));
       }
-      batched::bsr_gemm(ctx_, -1.0, near.row_ptr, near.col, blocks, xv, yv);
+      // Asynchronous on the sample stream: every later consumer of Y_loc
+      // (min-diag probe, row ID, shrink) launches on the same stream, so
+      // FIFO order stands in for a barrier.
+      batched::bsr_gemm(ctx_, batched::kSampleStream, -1.0,
+                        {near.row_ptr.begin(), near.row_ptr.end()},
+                        {near.col.begin(), near.col.end()}, std::move(blocks), std::move(xv),
+                        std::move(yv));
     }
     return;
   }
@@ -128,7 +144,10 @@ void H2SketchBuilder::extend_yloc(index_t level, index_t c0, index_t dn) {
       const index_t rn = out_.ranks[uc][un];
       yv.push_back(yl[static_cast<size_t>(parent)].view().block(row0, c0, rn, dn));
     }
-    batched::bsr_gemm(ctx_, -1.0, far_child.row_ptr, far_child.col, blocks, xv, yv);
+    batched::bsr_gemm(ctx_, batched::kSampleStream, -1.0,
+                      {far_child.row_ptr.begin(), far_child.row_ptr.end()},
+                      {far_child.col.begin(), far_child.col.end()}, std::move(blocks),
+                      std::move(xv), std::move(yv));
   }
 }
 
@@ -143,7 +162,9 @@ void H2SketchBuilder::extend_upswept(index_t level, index_t c0, index_t dn) {
     append_cols(omega_up_[ul][static_cast<size_t>(i)], dn);
   }
 
-  // y_up(:, new) = Y_loc(J, new) — batchedShrink on the new columns.
+  // y_up(:, new) = Y_loc(J, new) — batchedShrink on the new columns, on the
+  // sample stream (FIFO after the Y_loc assembly), concurrent with the
+  // omega_up extension on the basis stream below.
   {
     std::vector<ConstMatrixView> src;
     std::vector<MatrixView> dst;
@@ -152,7 +173,8 @@ void H2SketchBuilder::extend_upswept(index_t level, index_t c0, index_t dn) {
       src.push_back(yloc_[ul][ui].view().col_range(c0, dn));
       dst.push_back(y_up_[ul][ui].view().col_range(c0, dn));
     }
-    batched::batched_gather_rows(ctx_, src, jlocal_[ul], dst);
+    batched::batched_gather_rows(ctx_, batched::kSampleStream, std::move(src), jlocal_[ul],
+                                 std::move(dst));
   }
 
   // omega_up(:, new): U^T Omega(I, new) at the leaf, transfer products above.
@@ -166,7 +188,8 @@ void H2SketchBuilder::extend_upswept(index_t level, index_t c0, index_t dn) {
           omega_global_.view().block(tree_->begin(level, i), c0, tree_->size(level, i), dn));
       cv.push_back(omega_up_[ul][ui].view().col_range(c0, dn));
     }
-    batched::batched_gemm(ctx_, 1.0, av, la::Op::Trans, bv, la::Op::None, 0.0, cv);
+    batched::batched_gemm(ctx_, batched::kBasisStream, 1.0, std::move(av), la::Op::Trans,
+                          std::move(bv), la::Op::None, 0.0, std::move(cv));
   } else {
     for (int side = 0; side < 2; ++side) {
       std::vector<ConstMatrixView> av, bv;
@@ -188,8 +211,8 @@ void H2SketchBuilder::extend_upswept(index_t level, index_t c0, index_t dn) {
         bv.push_back(omega_up_[ul + 1][static_cast<size_t>(2 * i + side)].view().col_range(c0, dn));
         cv.push_back(omega_up_[ul][ui].view().col_range(c0, dn));
       }
-      batched::batched_gemm(ctx_, 1.0, av, la::Op::Trans, bv, la::Op::None, side == 0 ? 0.0 : 1.0,
-                            cv);
+      batched::batched_gemm(ctx_, batched::kBasisStream, 1.0, std::move(av), la::Op::Trans,
+                            std::move(bv), la::Op::None, side == 0 ? 0.0 : 1.0, std::move(cv));
     }
   }
 }

@@ -49,6 +49,9 @@ ConstructionResult H2SketchBuilder::run() {
   const double t0 = wall_seconds();
   const index_t leaf = tree_->leaf_level();
 
+  // Enqueued on the entry-gen stream: the near-field blocks generate while
+  // the initial sketch round below runs the monolithic sampler product —
+  // the two inputs of Algorithm 1 are independent until the leaf sweep.
   generate_dense_blocks();
 
   if (out_.mtree.has_any_far()) {
@@ -56,7 +59,10 @@ ConstructionResult H2SketchBuilder::run() {
     sample_columns(opts_.effective_initial_samples());
 
     // Bottom-up level sweep (leaf = index L-1 ... level 1; the root carries
-    // no admissible blocks).
+    // no admissible blocks). Within a level, the sample pipeline (stream 0),
+    // the basis/omega pipeline (stream 1) and coupling entry generation
+    // (stream 2) overlap; extend_yloc is the consumer of all three and
+    // starts with the barrier.
     for (index_t l = leaf; l >= 1; --l) {
       extend_yloc(l, 0, d_total_);
       if (opts_.adaptive) {
@@ -74,12 +80,16 @@ ConstructionResult H2SketchBuilder::run() {
     }
   }
 
+  ctx_.sync_all();
   finalize_stats(t0);
   out_.validate();
   return ConstructionResult{std::move(out_), stats_};
 }
 
 void H2SketchBuilder::generate_dense_blocks() {
+  // Marshal on this thread, generate asynchronously: the phase scope times
+  // only the marshaling; the generation itself overlaps the initial
+  // sampling and is charged to wall time, not the EntryGen phase.
   PhaseScope scope(stats_.phases, Phase::EntryGen);
   const index_t leaf = tree_->leaf_level();
   const auto& near = out_.mtree.near_leaf;
@@ -95,7 +105,7 @@ void H2SketchBuilder::generate_dense_blocks() {
                       leaf_positions_[static_cast<size_t>(c)], d.view()});
     }
   }
-  kern::batched_generate(ctx_, gen_, reqs);
+  kern::batched_generate(ctx_, batched::kEntryGenStream, gen_, std::move(reqs));
 }
 
 void H2SketchBuilder::skeletonize_level(index_t level) {
@@ -144,7 +154,11 @@ void H2SketchBuilder::skeletonize_level(index_t level) {
     }
   }
 
-  // Upsweep samples (batchedShrink, Lines 17 / 35): y_up = Y_loc(J, :).
+  // Upsweep samples (batchedShrink, Lines 17 / 35): y_up = Y_loc(J, :), on
+  // the sample stream — and, concurrently on the basis stream, the upsweep
+  // of the random vectors (batchedGemm, Lines 18 / 36). The two pipelines
+  // touch disjoint state (y_up vs omega_up); extend_yloc of the next level
+  // is their common consumer and syncs before reading.
   {
     PhaseScope scope(stats_.phases, Phase::Upsweep);
     auto& yup = y_up_[ul];
@@ -157,9 +171,9 @@ void H2SketchBuilder::skeletonize_level(index_t level) {
       src.push_back(yloc_[ul][ui].view());
       dst.push_back(yup[ui].view());
     }
-    batched::batched_gather_rows(ctx_, src, jlocal_[ul], dst);
+    batched::batched_gather_rows(ctx_, batched::kSampleStream, std::move(src), jlocal_[ul],
+                                 std::move(dst));
 
-    // Upsweep random vectors (batchedGemm, Lines 18 / 36).
     auto& oup = omega_up_[ul];
     oup.resize(static_cast<size_t>(nodes));
     for (index_t i = 0; i < nodes; ++i)
@@ -174,9 +188,12 @@ void H2SketchBuilder::skeletonize_level(index_t level) {
         bv.push_back(omega_global_.view().row_range(tree_->begin(level, i), tree_->size(level, i)));
         cv.push_back(oup[ui].view());
       }
-      batched::batched_gemm(ctx_, 1.0, av, la::Op::Trans, bv, la::Op::None, 0.0, cv);
+      batched::batched_gemm(ctx_, batched::kBasisStream, 1.0, std::move(av), la::Op::Trans,
+                            std::move(bv), la::Op::None, 0.0, std::move(cv));
     } else {
-      // omega_up = E1^T omega_up_nu1 + E2^T omega_up_nu2.
+      // omega_up = E1^T omega_up_nu1 + E2^T omega_up_nu2. Both half-launches
+      // go to the basis stream: FIFO order makes the side-1 accumulation
+      // (beta = 1) safe without a barrier.
       for (int side = 0; side < 2; ++side) {
         std::vector<ConstMatrixView> av, bv;
         std::vector<MatrixView> cv;
@@ -198,8 +215,8 @@ void H2SketchBuilder::skeletonize_level(index_t level) {
           bv.push_back(omega_up_[ul + 1][static_cast<size_t>(2 * i + side)].view());
           cv.push_back(oup[ui].view());
         }
-        batched::batched_gemm(ctx_, 1.0, av, la::Op::Trans, bv, la::Op::None,
-                              side == 0 ? 0.0 : 1.0, cv);
+        batched::batched_gemm(ctx_, batched::kBasisStream, 1.0, std::move(av), la::Op::Trans,
+                              std::move(bv), la::Op::None, side == 0 ? 0.0 : 1.0, std::move(cv));
       }
     }
   }
@@ -223,7 +240,10 @@ void H2SketchBuilder::generate_coupling(index_t level) {
       reqs.push_back({rs, cs, b.view()});
     }
   }
-  kern::batched_generate(ctx_, gen_, reqs);
+  // Asynchronous: coupling generation overlaps the level's upsweep launches
+  // (and, for the last level, nothing waits until the final sync_all). The
+  // skeleton index sets referenced by the requests are stable members.
+  kern::batched_generate(ctx_, batched::kEntryGenStream, gen_, std::move(reqs));
 }
 
 void H2SketchBuilder::finalize_stats(double t0) {

@@ -1,5 +1,6 @@
 #include "h2/h2_dense.hpp"
 
+#include "common/parallel.hpp"
 #include "la/blas.hpp"
 
 namespace h2sketch::h2 {
@@ -29,26 +30,34 @@ Matrix densify(const H2Matrix& a) {
   for (index_t l = 0; l < t.num_levels(); ++l) {
     const auto& far = a.mtree.far[static_cast<size_t>(l)];
     if (far.empty()) continue;
-    // Expand each node's basis once per level.
-    std::vector<Matrix> expanded(static_cast<size_t>(t.nodes_at(l)));
-    for (index_t i = 0; i < t.nodes_at(l); ++i) {
-      if (far.row_count(i) > 0) expanded[static_cast<size_t>(i)] = expand_basis(a, l, i);
-    }
+    // Expand every basis the level's block list touches (as a row or column
+    // node) up front, in parallel, so the per-entry loop below only reads.
+    std::vector<char> needed(static_cast<size_t>(t.nodes_at(l)), 0);
     for (index_t s = 0; s < t.nodes_at(l); ++s) {
       for (index_t j = 0; j < far.row_count(s); ++j) {
         const index_t e = far.row_ptr[static_cast<size_t>(s)] + j;
-        const index_t c = far.col[static_cast<size_t>(e)];
-        if (expanded[static_cast<size_t>(c)].empty())
-          expanded[static_cast<size_t>(c)] = expand_basis(a, l, c);
-        const Matrix& b = a.coupling[static_cast<size_t>(l)][static_cast<size_t>(e)];
-        Matrix ub(t.size(l, s), b.cols());
-        la::gemm(1.0, expanded[static_cast<size_t>(s)].view(), la::Op::None, b.view(), la::Op::None,
-                 0.0, ub.view());
-        la::gemm(1.0, ub.view(), la::Op::None, expanded[static_cast<size_t>(c)].view(),
-                 la::Op::Trans, 1.0,
-                 k.view().block(t.begin(l, s), t.begin(l, c), t.size(l, s), t.size(l, c)));
+        needed[static_cast<size_t>(s)] = 1;
+        needed[static_cast<size_t>(far.col[static_cast<size_t>(e)])] = 1;
       }
     }
+    std::vector<Matrix> expanded(static_cast<size_t>(t.nodes_at(l)));
+    parallel_for(t.nodes_at(l), [&](index_t i) {
+      if (needed[static_cast<size_t>(i)]) expanded[static_cast<size_t>(i)] = expand_basis(a, l, i);
+    });
+    // Every far entry writes a disjoint block of K (distinct (s, c) index
+    // ranges), so the leaf-level densification runs one task per entry.
+    parallel_for(far.count(), [&](index_t e) {
+      index_t s = 0;
+      while (far.row_ptr[static_cast<size_t>(s + 1)] <= e) ++s;
+      const index_t c = far.col[static_cast<size_t>(e)];
+      const Matrix& b = a.coupling[static_cast<size_t>(l)][static_cast<size_t>(e)];
+      Matrix ub(t.size(l, s), b.cols());
+      la::gemm(1.0, expanded[static_cast<size_t>(s)].view(), la::Op::None, b.view(), la::Op::None,
+               0.0, ub.view());
+      la::gemm(1.0, ub.view(), la::Op::None, expanded[static_cast<size_t>(c)].view(),
+               la::Op::Trans, 1.0,
+               k.view().block(t.begin(l, s), t.begin(l, c), t.size(l, s), t.size(l, c)));
+    });
   }
 
   const index_t leaf = t.leaf_level();

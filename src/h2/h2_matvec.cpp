@@ -5,6 +5,21 @@
 
 namespace h2sketch::h2 {
 
+namespace {
+
+using batched::StreamId;
+
+/// Streams of the matvec pipeline: the whole upward/coupling/downward
+/// low-rank chain runs FIFO on the sample stream while the dense near-field
+/// product — typically the largest single launch — runs concurrently on the
+/// basis stream; per-level coupling products, independent of each other,
+/// fan out over the remaining streams.
+constexpr StreamId kLowRank = batched::kSampleStream;
+constexpr StreamId kNearField = batched::kBasisStream;
+constexpr StreamId kCouplingSpill[] = {batched::kEntryGenStream, batched::kAuxStream};
+
+} // namespace
+
 void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixView x,
                MatrixView y) {
   const index_t n = a.size();
@@ -16,7 +31,9 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
 
   set_all(y, 0.0);
 
-  // Per-level coefficient blocks xhat/yhat (rank x d per node).
+  // Per-level coefficient blocks xhat/yhat (rank x d per node). Locals
+  // referenced by the asynchronous launches below: the final sync_all keeps
+  // them alive past the last launch.
   std::vector<std::vector<Matrix>> xhat(static_cast<size_t>(levels)),
       yhat(static_cast<size_t>(levels));
   for (index_t l = 0; l < levels; ++l) {
@@ -26,6 +43,26 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
     for (index_t i = 0; i < nodes; ++i) {
       xhat[static_cast<size_t>(l)][static_cast<size_t>(i)].resize(a.rank(l, i), d);
       yhat[static_cast<size_t>(l)][static_cast<size_t>(i)].resize(a.rank(l, i), d);
+    }
+  }
+
+  // Dense near field: y(I_tau, :) += D_{tau,b} x(I_b, :). Issued first, on
+  // its own stream: it reads only x and writes only y, so it overlaps the
+  // entire low-rank pipeline and is joined right before the leaf expansion
+  // (the only other writer of y).
+  {
+    const auto& near = a.mtree.near_leaf;
+    if (!near.empty()) {
+      std::vector<ConstMatrixView> blocks, xv;
+      std::vector<MatrixView> yv;
+      for (const auto& dmat : a.dense) blocks.push_back(dmat.view());
+      for (index_t i = 0; i < t.nodes_at(leaf); ++i) {
+        xv.push_back(x.row_range(t.begin(leaf, i), t.size(leaf, i)));
+        yv.push_back(y.row_range(t.begin(leaf, i), t.size(leaf, i)));
+      }
+      batched::bsr_gemm(ctx, kNearField, 1.0, {near.row_ptr.begin(), near.row_ptr.end()},
+                        {near.col.begin(), near.col.end()}, std::move(blocks), std::move(xv),
+                        std::move(yv));
     }
   }
 
@@ -45,19 +82,18 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
       bv.push_back(x.row_range(t.begin(leaf, i), t.size(leaf, i)));
       cv.push_back(xhat[static_cast<size_t>(leaf)][static_cast<size_t>(i)].view());
     }
-    batched::batched_gemm(ctx, 1.0, av, la::Op::Trans, bv, la::Op::None, 0.0, cv);
+    batched::batched_gemm(ctx, kLowRank, 1.0, std::move(av), la::Op::Trans, std::move(bv),
+                          la::Op::None, 0.0, std::move(cv));
   }
 
   // Upward pass, inner: xhat_tau = E_left^T xhat_l + E_right^T xhat_r.
+  // Level-to-level dependencies ride the stream's FIFO order — no barriers.
   for (index_t l = leaf - 1; l >= 0; --l) {
-    std::vector<ConstMatrixView> av, bv;
-    std::vector<MatrixView> cv;
     // Two half-launches (left children then right children) so each parent
     // coefficient block is written by one entry per launch.
     for (int side = 0; side < 2; ++side) {
-      av.clear();
-      bv.clear();
-      cv.clear();
+      std::vector<ConstMatrixView> av, bv;
+      std::vector<MatrixView> cv;
       for (index_t i = 0; i < t.nodes_at(l); ++i) {
         const Matrix& tr = a.basis[static_cast<size_t>(l)][static_cast<size_t>(i)];
         const index_t r_left = a.rank(l + 1, 2 * i);
@@ -75,12 +111,16 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
         bv.push_back(xhat[static_cast<size_t>(l + 1)][static_cast<size_t>(2 * i + side)].view());
         cv.push_back(xhat[static_cast<size_t>(l)][static_cast<size_t>(i)].view());
       }
-      batched::batched_gemm(ctx, 1.0, av, la::Op::Trans, bv, la::Op::None,
-                            side == 0 ? 0.0 : 1.0, cv);
+      batched::batched_gemm(ctx, kLowRank, 1.0, std::move(av), la::Op::Trans, std::move(bv),
+                            la::Op::None, side == 0 ? 0.0 : 1.0, std::move(cv));
     }
   }
 
   // Coupling phase: yhat[s] += B_{s,t} xhat[t] per level, conflict-free BSR.
+  // Levels are mutually independent given the finished upward pass (each
+  // writes only its own yhat[l]), so they fan out across streams.
+  ctx.sync(kLowRank);
+  int spill = 0;
   for (index_t l = 0; l < levels; ++l) {
     const auto& far = a.mtree.far[static_cast<size_t>(l)];
     if (far.empty()) continue;
@@ -91,17 +131,21 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
       xv.push_back(xhat[static_cast<size_t>(l)][static_cast<size_t>(i)].view());
       yv.push_back(yhat[static_cast<size_t>(l)][static_cast<size_t>(i)].view());
     }
-    batched::bsr_gemm(ctx, 1.0, far.row_ptr, far.col, blocks, xv, yv);
+    const StreamId s = (l % 2 == 0) ? kLowRank : kCouplingSpill[(spill++) % 2];
+    batched::bsr_gemm(ctx, s, 1.0, {far.row_ptr.begin(), far.row_ptr.end()},
+                      {far.col.begin(), far.col.end()}, std::move(blocks), std::move(xv),
+                      std::move(yv));
   }
+  // Downward pass consumes every level's yhat: join the coupling fan-out
+  // (the near-field stream keeps running).
+  ctx.sync(kLowRank);
+  for (const StreamId s : kCouplingSpill) ctx.sync(s);
 
   // Downward pass: children accumulate E * yhat_parent.
   for (index_t l = 0; l < leaf; ++l) {
-    std::vector<ConstMatrixView> av, bv;
-    std::vector<MatrixView> cv;
     for (int side = 0; side < 2; ++side) {
-      av.clear();
-      bv.clear();
-      cv.clear();
+      std::vector<ConstMatrixView> av, bv;
+      std::vector<MatrixView> cv;
       for (index_t i = 0; i < t.nodes_at(l); ++i) {
         const Matrix& tr = a.basis[static_cast<size_t>(l)][static_cast<size_t>(i)];
         const index_t r_left = a.rank(l + 1, 2 * i);
@@ -118,11 +162,14 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
         bv.push_back(yhat[static_cast<size_t>(l)][static_cast<size_t>(i)].view());
         cv.push_back(yhat[static_cast<size_t>(l + 1)][static_cast<size_t>(2 * i + side)].view());
       }
-      batched::batched_gemm(ctx, 1.0, av, la::Op::None, bv, la::Op::None, 1.0, cv);
+      batched::batched_gemm(ctx, kLowRank, 1.0, std::move(av), la::Op::None, std::move(bv),
+                            la::Op::None, 1.0, std::move(cv));
     }
   }
 
-  // Leaf expansion: y(I_tau, :) += U yhat_leaf.
+  // Leaf expansion: y(I_tau, :) += U yhat_leaf. Writes y, so the concurrent
+  // near-field accumulation must finish first.
+  ctx.sync(kNearField);
   {
     const auto& ub = a.basis[static_cast<size_t>(leaf)];
     std::vector<ConstMatrixView> av, bv;
@@ -138,23 +185,12 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
       bv.push_back(yhat[static_cast<size_t>(leaf)][static_cast<size_t>(i)].view());
       cv.push_back(y.row_range(t.begin(leaf, i), t.size(leaf, i)));
     }
-    batched::batched_gemm(ctx, 1.0, av, la::Op::None, bv, la::Op::None, 1.0, cv);
+    batched::batched_gemm(ctx, kLowRank, 1.0, std::move(av), la::Op::None, std::move(bv),
+                          la::Op::None, 1.0, std::move(cv));
   }
 
-  // Dense near field: y(I_tau, :) += D_{tau,b} x(I_b, :).
-  {
-    const auto& near = a.mtree.near_leaf;
-    if (!near.empty()) {
-      std::vector<ConstMatrixView> blocks, xv;
-      std::vector<MatrixView> yv;
-      for (const auto& dmat : a.dense) blocks.push_back(dmat.view());
-      for (index_t i = 0; i < t.nodes_at(leaf); ++i) {
-        xv.push_back(x.row_range(t.begin(leaf, i), t.size(leaf, i)));
-        yv.push_back(y.row_range(t.begin(leaf, i), t.size(leaf, i)));
-      }
-      batched::bsr_gemm(ctx, 1.0, near.row_ptr, near.col, blocks, xv, yv);
-    }
-  }
+  // xhat/yhat and the caller's x/y views must outlive every launch.
+  ctx.sync_all();
 }
 
 void h2_matvec(const H2Matrix& a, ConstMatrixView x, MatrixView y) {

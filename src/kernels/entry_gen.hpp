@@ -43,7 +43,13 @@ class EntryGenerator {
 };
 
 /// Evaluate all requested blocks in one launch (the batched mode) or one
-/// launch per block (naive mode), per the context's backend.
+/// launch per block (naive mode), per the context's backend. Stream form:
+/// the request vector is moved into the launch; the index sets and output
+/// buffers it references must stay alive until the stream is synced.
+void batched_generate(batched::ExecutionContext& ctx, batched::StreamId stream,
+                      const EntryGenerator& gen, std::vector<BlockRequest> requests);
+
+/// Synchronous form: completed on return.
 void batched_generate(batched::ExecutionContext& ctx, const EntryGenerator& gen,
                       std::span<const BlockRequest> requests);
 

@@ -30,6 +30,18 @@ inline index_t op_cols(ConstMatrixView a, Op op) { return op == Op::None ? a.col
 void gemm(real_t alpha, ConstMatrixView a, Op op_a, ConstMatrixView b, Op op_b, real_t beta,
           MatrixView c);
 
+/// Same contract as `gemm`, with an opt-in intra-op parallel path: C is
+/// tiled into row panels at the engine's MC boundary and column panels at
+/// the NC boundary, and the tiles run concurrently on the persistent pool.
+/// Because the panel cuts coincide with the serial engine's own blocking,
+/// the result is bitwise identical to `gemm` for every thread count. Falls
+/// back to the serial dispatch when the product is too small to split, the
+/// pool width is 1, or the runtime is in FlatOpenMP baseline mode. Intended
+/// for the few monolithic products (dense sampler applications,
+/// densification) that a batched launch cannot subdivide.
+void gemm_parallel(real_t alpha, ConstMatrixView a, Op op_a, ConstMatrixView b, Op op_b,
+                   real_t beta, MatrixView c);
+
 /// y = alpha * op(A) * x + beta * y. Single right-hand side: always the
 /// naive kernels (a packed panel would never be reused).
 void gemv(real_t alpha, ConstMatrixView a, Op op_a, const_real_span x, real_t beta, real_span y);

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "common/thread_pool.hpp"
+
 namespace h2sketch::la {
 
 namespace {
@@ -275,6 +277,33 @@ void gemm_blocked(real_t alpha, ConstMatrixView a, Op op_a, ConstMatrixView b, O
       }
     }
   }
+}
+
+void gemm_parallel(real_t alpha, ConstMatrixView a, Op op_a, ConstMatrixView b, Op op_b,
+                   real_t beta, MatrixView c) {
+  const index_t m = c.rows, n = c.cols, kk = op_cols(a, op_a);
+  ThreadPool& pool = ThreadPool::global();
+  const index_t row_panels = (m + kGemmMC - 1) / kGemmMC;
+  const index_t col_panels = (n + kGemmNC - 1) / kGemmNC;
+  if (runtime_mode() == RuntimeMode::FlatOpenMP || pool.width() <= 1 ||
+      !gemm_use_blocked(m, n, kk) || row_panels * col_panels <= 1) {
+    gemm(alpha, a, op_a, b, op_b, beta, c);
+    return;
+  }
+  // Tile grid aligned with the serial engine's (ic, jc) blocking: tile
+  // (rp, cp) covers C(rp*MC .., cp*NC ..). Each tile runs the full pc loop
+  // itself, so its accumulation order — and therefore every bit of C — is
+  // exactly the serial engine's. Boundaries depend only on (m, n).
+  pool.parallel_for(row_panels * col_panels, [&](index_t t) {
+    const index_t rp = t % row_panels, cp = t / row_panels;
+    const index_t r0 = rp * kGemmMC, mb = std::min(kGemmMC, m - r0);
+    const index_t c0 = cp * kGemmNC, nb = std::min(kGemmNC, n - c0);
+    const ConstMatrixView ap =
+        op_a == Op::None ? a.block(r0, 0, mb, a.cols) : a.block(0, r0, a.rows, mb);
+    const ConstMatrixView bp =
+        op_b == Op::None ? b.block(0, c0, b.rows, nb) : b.block(c0, 0, nb, b.cols);
+    gemm_blocked(alpha, ap, op_a, bp, op_b, beta, c.block(r0, c0, mb, nb));
+  });
 }
 
 } // namespace h2sketch::la

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
+#include "batched/batched_rand.hpp"
+#include "common/random.hpp"
 #include "core/construction.hpp"
 #include "h2/h2_dense.hpp"
 #include "kernels/dense_sampler.hpp"
@@ -47,6 +51,123 @@ TEST(ExecutionContext, RunBatchVisitsEveryIndexOnce) {
     std::vector<std::atomic<int>> hits(64);
     ctx.run_batch(64, [&](index_t i) { hits[static_cast<size_t>(i)].fetch_add(1); });
     for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ExecutionContext, EmptyLaunchesRecordNoLaunchInEitherBackend) {
+  // Regression for the empty-level accounting: a batch of size 0 (an empty
+  // level, an empty near/far list) must cost zero launches uniformly —
+  // Naive counting per entry and Batched counting per launch agree at 0.
+  for (Backend backend : {Backend::Naive, Backend::Batched}) {
+    ExecutionContext ctx(backend);
+    ctx.run_batch(0, [](index_t) { FAIL() << "empty batch must not execute"; });
+    ctx.run_batch(kSampleStream, 0, [](index_t) { FAIL(); });
+    ctx.run_batch(
+        kBasisStream, 0, [](index_t) { return index_t{1}; }, [](index_t) { FAIL(); });
+    ctx.run_batch(-3, [](index_t) { FAIL(); });
+    ctx.sync_all();
+    EXPECT_EQ(ctx.kernel_launches(), 0) << (backend == Backend::Naive ? "naive" : "batched");
+  }
+}
+
+TEST(ExecutionContext, EmptyGaussianFillRecordsNoLaunch) {
+  ExecutionContext ctx(Backend::Batched);
+  Matrix empty;
+  GaussianStream stream(7);
+  batched_fill_gaussian(ctx, empty.view(), stream, 0);
+  EXPECT_EQ(ctx.kernel_launches(), 0);
+  Matrix some(3, 2);
+  batched_fill_gaussian(ctx, some.view(), stream, 0);
+  EXPECT_EQ(ctx.kernel_launches(), 1);
+}
+
+TEST(ExecutionContext, SameStreamLaunchesRunInFifoOrder) {
+  // The stream contract replacing implicit launch barriers: launch k+1 on a
+  // stream must observe every write of launch k. Chain 50 dependent
+  // launches; any reordering or overlap corrupts the running sum (recorded
+  // in a flag — launch bodies may run off the main thread, so no gtest
+  // assertions inside).
+  ExecutionContext ctx(Backend::Batched);
+  std::vector<index_t> acc(8, 0);
+  std::atomic<bool> order_violated{false};
+  for (int k = 0; k < 50; ++k)
+    ctx.run_batch(kSampleStream, 8, [&acc, &order_violated, k](index_t i) {
+      if (acc[static_cast<size_t>(i)] != k) order_violated.store(true); // launch k-1 unfinished
+      ++acc[static_cast<size_t>(i)];
+    });
+  ctx.sync(kSampleStream);
+  EXPECT_FALSE(order_violated.load());
+  for (index_t v : acc) EXPECT_EQ(v, 50);
+  EXPECT_EQ(ctx.stream_launches(kSampleStream), 50);
+  EXPECT_EQ(ctx.kernel_launches(), 50);
+}
+
+TEST(ExecutionContext, IndependentStreamsAllCompleteAtSyncAll) {
+  ExecutionContext ctx(Backend::Batched);
+  std::array<std::atomic<index_t>, static_cast<size_t>(kNumStreams)> per_stream{};
+  for (StreamId s = 0; s < kNumStreams; ++s)
+    for (int k = 0; k < 5; ++k)
+      ctx.run_batch(s, 16, [&per_stream, s](index_t) {
+        per_stream[static_cast<size_t>(s)].fetch_add(1, std::memory_order_relaxed);
+      });
+  ctx.sync_all();
+  for (StreamId s = 0; s < kNumStreams; ++s) {
+    EXPECT_EQ(per_stream[static_cast<size_t>(s)].load(), 5 * 16);
+    EXPECT_EQ(ctx.stream_launches(s), 5);
+  }
+  EXPECT_EQ(ctx.kernel_launches(), 5 * kNumStreams);
+}
+
+TEST(ExecutionContext, LaunchExceptionSurfacesNoLaterThanSync) {
+  ExecutionContext ctx(Backend::Batched);
+  auto issue_and_sync = [&ctx] {
+    ctx.run_batch(kSampleStream, 32, [](index_t i) {
+      if (i == 13) throw std::runtime_error("entry 13 failed");
+    });
+    ctx.sync(kSampleStream);
+  };
+  EXPECT_THROW(issue_and_sync(), std::runtime_error);
+  // The stream is usable again after the error is consumed.
+  std::atomic<int> ran{0};
+  ctx.run_batch(kSampleStream, 4, [&ran](index_t) { ran.fetch_add(1); });
+  ctx.sync(kSampleStream);
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ExecutionContext, CostChunkedLaunchExecutesEveryEntryOnce) {
+  // Wildly skewed per-entry costs (every 10th entry pretends to be 1000x
+  // the rest) must not drop, duplicate, or reorder entry effects.
+  ExecutionContext ctx(Backend::Batched);
+  std::vector<index_t> out(100, 0);
+  ctx.run_batch(
+      kSampleStream, 100, [](index_t i) { return (i % 10 == 0) ? index_t{1000} : index_t{1}; },
+      [&out](index_t i) { out[static_cast<size_t>(i)] += i * i; });
+  ctx.sync(kSampleStream);
+  for (index_t i = 0; i < 100; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i * i);
+}
+
+/// A construction whose tree has levels with no admissible blocks must not
+/// charge launches for them: pin the exact launch count of a near-field-only
+/// problem (two leaves, everything inadmissible) in both backends.
+TEST(ExecutionContext, NearFieldOnlyConstructionLaunchCountsArePinned) {
+  auto tr = test_util::build_cube_tree(32, 1, 5, 16); // 2 leaves, 1D line
+  kern::ExponentialKernel k(0.2);
+  const Matrix kd = test_util::dense_kernel_matrix(*tr, k);
+  kern::KernelEntryGenerator gen(*tr, k);
+  core::ConstructionOptions opts;
+  opts.tol = 1e-6;
+
+  // eta = 0 admissibility: nothing is admissible, every level is "empty".
+  for (Backend backend : {Backend::Naive, Backend::Batched}) {
+    kern::DenseMatrixSampler sampler(kd.view());
+    ExecutionContext ctx(backend);
+    auto res = core::construct_h2(tr, Admissibility::general(0.0), sampler, gen, opts, ctx);
+    ASSERT_FALSE(res.matrix.mtree.has_any_far());
+    const index_t near_blocks = res.matrix.mtree.near_leaf.count();
+    // Exactly one operation runs: the near-field entry generation. Batched:
+    // one launch total. Naive: one launch per near block. Empty far levels
+    // contribute zero in both backends.
+    EXPECT_EQ(res.stats.kernel_launches, backend == Backend::Batched ? 1 : near_blocks);
   }
 }
 
