@@ -2,15 +2,10 @@
 
 namespace h2sketch::baselines {
 
-core::ConstructionResult construct_hss(std::shared_ptr<const tree::ClusterTree> tree,
-                                       kern::MatVecSampler& sampler,
-                                       const kern::EntryGenerator& gen,
-                                       const core::ConstructionOptions& opts) {
-  // Deliberately nothing but a forward: Algorithm 1 with weak admissibility
-  // IS the bottom-up HSS construction. Keep this in sync with the pinning
-  // test (Hss.IsExactlyWeakAdmissibilityConstructH2) when replacing it with
-  // a real HSS implementation.
-  return core::construct_h2(std::move(tree), tree::Admissibility::weak(), sampler, gen, opts);
+solver::HssResult construct_hss(std::shared_ptr<const tree::ClusterTree> tree,
+                                kern::MatVecSampler& sampler, const kern::EntryGenerator& gen,
+                                const core::ConstructionOptions& opts) {
+  return solver::build_hss(std::move(tree), sampler, gen, opts);
 }
 
 } // namespace h2sketch::baselines

@@ -1,30 +1,31 @@
 #pragma once
 
-#include "core/construction.hpp"
+#include "solver/hss_construction.hpp"
 
 /// \file hss.hpp
-/// Bottom-up sketching HSS construction (Martinsson 2011, [29]) — exactly
-/// Algorithm 1 restricted to weak admissibility, which is how the paper
-/// positions its contribution ("the extension of the sketching-based
-/// construction algorithm for the HSS matrix [29] to strongly-admissible H2
-/// matrices"). Serves as the STRUMPACK-HSS line of Fig. 6(b).
+/// Bottom-up sketching HSS construction (Martinsson 2011, [29]) — the
+/// baseline the paper positions its contribution against ("the extension of
+/// the sketching-based construction algorithm for the HSS matrix [29] to
+/// strongly-admissible H2 matrices"). Serves as the STRUMPACK-HSS line of
+/// Fig. 6(b).
 ///
-/// NOTE: this is a THIN WRAPPER, not an independent HSS implementation. It
-/// forwards to `core::construct_h2` with `Admissibility::weak()` and changes
-/// nothing else — same adaptive sampling, same IDs, same H2 data structures
-/// (which subsume HSS when the coupling sparsity constant is 1). A genuine
-/// HSS baseline (dedicated generators, ULV factorization) is a ROADMAP item;
-/// `test_baselines.cpp` pins the wrapper equivalence so that a future real
-/// implementation shows up as an explicit behavioral diff.
+/// Since the solver subsystem landed this dispatches to the genuine
+/// implementation in solver/hss_construction.hpp: dedicated generator
+/// storage (HssMatrix), weak-admissibility structure hard-wired, and a ULV
+/// factorization consuming it (solver/ulv.hpp). It is no longer the thin
+/// `construct_h2(Admissibility::weak())` forward of earlier revisions — the
+/// behavioral diff the old `Hss.IsExactlyWeakAdmissibilityConstructH2` pin
+/// announced; `test_baselines.cpp` now asserts tolerance-level agreement
+/// with the weak-admissibility H2 build instead.
 
 namespace h2sketch::baselines {
 
-/// construct_h2 under weak admissibility: every off-diagonal sibling pair is
-/// low-rank, with nested (HSS) bases. Identical to calling construct_h2 with
-/// Admissibility::weak() directly (see file comment).
-core::ConstructionResult construct_hss(std::shared_ptr<const tree::ClusterTree> tree,
-                                       kern::MatVecSampler& sampler,
-                                       const kern::EntryGenerator& gen,
-                                       const core::ConstructionOptions& opts);
+/// Bottom-up sketching HSS construction into dedicated HSS storage. Same
+/// black-box inputs as construct_h2; equivalent compression quality to
+/// construct_h2 under Admissibility::weak() (asserted to tolerance by
+/// test_baselines.cpp), with generators laid out for the ULV solver.
+solver::HssResult construct_hss(std::shared_ptr<const tree::ClusterTree> tree,
+                                kern::MatVecSampler& sampler, const kern::EntryGenerator& gen,
+                                const core::ConstructionOptions& opts);
 
 } // namespace h2sketch::baselines

@@ -41,6 +41,17 @@ real_t Matern32Kernel::evaluate(const real_t* x, const real_t* y, index_t dim) c
   return (1.0 + a) * std::exp(-a);
 }
 
+real_t RidgeKernel::evaluate(const real_t* x, const real_t* y, index_t dim) const {
+  real_t v = base_->evaluate(x, y, dim);
+  bool same = true;
+  for (index_t d = 0; d < dim; ++d)
+    if (x[d] != y[d]) {
+      same = false;
+      break;
+    }
+  return same ? v + sigma_ : v;
+}
+
 real_t Laplace3dKernel::evaluate(const real_t* x, const real_t* y, index_t dim) const {
   const real_t r = dist(x, y, dim);
   if (r == 0.0) return diagonal_;

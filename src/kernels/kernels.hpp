@@ -57,6 +57,22 @@ class Matern32Kernel final : public KernelFunction {
   real_t l_;
 };
 
+/// Diagonal-ridge decorator: base(x, y) + sigma * [x == y]. Turns any
+/// positive-semidefinite covariance kernel into a well-conditioned SPD
+/// operator (K + sigma I on distinct points) — the solver subsystem's test
+/// and benchmark workload.
+class RidgeKernel final : public KernelFunction {
+ public:
+  /// The base kernel must outlive the decorator.
+  RidgeKernel(const KernelFunction& base, real_t sigma) : base_(&base), sigma_(sigma) {}
+  real_t evaluate(const real_t* x, const real_t* y, index_t dim) const override;
+  std::string name() const override { return base_->name() + "+ridge"; }
+
+ private:
+  const KernelFunction* base_;
+  real_t sigma_;
+};
+
 /// 3D Laplace single-layer kernel 1 / |x - y| with a diagonal value. With a
 /// positive diagonal shift this mimics the dense Schur complement (DtN
 /// operator) of a 3D Poisson separator plane — the synthetic frontal matrix.

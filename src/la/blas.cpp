@@ -41,26 +41,50 @@ void trsm_upper_scalar(ConstMatrixView r, Op op_r, MatrixView b, bool unit_diag)
   }
 }
 
-/// Scalar forward substitution L Z = B for lower-triangular L.
-void lower_solve_scalar(ConstMatrixView l, MatrixView b) {
+/// Scalar substitution for op(L) X = B with lower-triangular L and the
+/// unit-diagonal option (the general form behind trsm_lower_left).
+void trsm_lower_scalar(ConstMatrixView l, Op op_l, MatrixView b, bool unit_diag) {
   const index_t n = l.rows;
-  for (index_t j = 0; j < b.cols; ++j) {
-    for (index_t i = 0; i < n; ++i) {
-      real_t s = b(i, j);
-      for (index_t p = 0; p < i; ++p) s -= l(i, p) * b(p, j);
-      b(i, j) = s / l(i, i);
+  if (op_l == Op::None) {
+    for (index_t j = 0; j < b.cols; ++j) {
+      for (index_t i = 0; i < n; ++i) {
+        real_t s = b(i, j);
+        for (index_t p = 0; p < i; ++p) s -= l(i, p) * b(p, j);
+        b(i, j) = unit_diag ? s : s / l(i, i);
+      }
+    }
+  } else {
+    for (index_t j = 0; j < b.cols; ++j) {
+      for (index_t i = n - 1; i >= 0; --i) {
+        real_t s = b(i, j);
+        for (index_t p = i + 1; p < n; ++p) s -= l(p, i) * b(p, j);
+        b(i, j) = unit_diag ? s : s / l(i, i);
+      }
     }
   }
 }
 
-/// Scalar back substitution L^T X = B for lower-triangular L.
-void lower_trans_solve_scalar(ConstMatrixView l, MatrixView b) {
+/// Scalar substitution for X op(L) = B (right-side solve; B is m x n, L n x n).
+void trsm_lower_right_scalar(ConstMatrixView l, Op op_l, MatrixView b, bool unit_diag) {
   const index_t n = l.rows;
-  for (index_t j = 0; j < b.cols; ++j) {
+  const index_t m = b.rows;
+  if (op_l == Op::None) {
+    // X L = B: column i of X depends on the already-solved columns > i.
     for (index_t i = n - 1; i >= 0; --i) {
-      real_t s = b(i, j);
-      for (index_t p = i + 1; p < n; ++p) s -= l(p, i) * b(p, j);
-      b(i, j) = s / l(i, i);
+      for (index_t r = 0; r < m; ++r) {
+        real_t s = b(r, i);
+        for (index_t k = i + 1; k < n; ++k) s -= b(r, k) * l(k, i);
+        b(r, i) = unit_diag ? s : s / l(i, i);
+      }
+    }
+  } else {
+    // X L^T = B: L^T is upper triangular, solve columns left to right.
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t r = 0; r < m; ++r) {
+        real_t s = b(r, i);
+        for (index_t k = 0; k < i; ++k) s -= b(r, k) * l(i, k);
+        b(r, i) = unit_diag ? s : s / l(i, i);
+      }
     }
   }
 }
@@ -122,9 +146,76 @@ void trsm_upper_left(ConstMatrixView r, Op op_r, MatrixView b, bool unit_diag) {
   }
 }
 
-void cholesky(MatrixView a) {
+void trsm_lower_left(ConstMatrixView l, Op op_l, MatrixView b, bool unit_diag) {
+  const index_t n = l.rows;
+  H2S_CHECK(l.rows == l.cols && b.rows == n, "trsm_lower_left: shape mismatch");
+  if (n == 0 || b.cols == 0) return;
+  if (!use_blocked_solve(n, b.cols)) {
+    trsm_lower_scalar(l, op_l, b, unit_diag);
+    return;
+  }
+  if (op_l == Op::None) {
+    // Forward: solve a diagonal block, push it into the rows below.
+    for (index_t i0 = 0; i0 < n; i0 += kTrsmBlock) {
+      const index_t nb = std::min(kTrsmBlock, n - i0);
+      if (i0 > 0)
+        gemm(-1.0, l.block(i0, 0, nb, i0), Op::None, b.row_range(0, i0), Op::None, 1.0,
+             b.row_range(i0, nb));
+      trsm_lower_scalar(l.block(i0, i0, nb, nb), Op::None, b.row_range(i0, nb), unit_diag);
+    }
+  } else {
+    // Backward: L^T is upper triangular, sweep bottom-up.
+    for (index_t i1 = n; i1 > 0;) {
+      const index_t nb = std::min(kTrsmBlock, i1);
+      const index_t i0 = i1 - nb;
+      if (i1 < n)
+        gemm(-1.0, l.block(i1, i0, n - i1, nb), Op::Trans, b.row_range(i1, n - i1), Op::None, 1.0,
+             b.row_range(i0, nb));
+      trsm_lower_scalar(l.block(i0, i0, nb, nb), Op::Trans, b.row_range(i0, nb), unit_diag);
+      i1 = i0;
+    }
+  }
+}
+
+void trsm_lower_right(ConstMatrixView l, Op op_l, MatrixView b, bool unit_diag) {
+  const index_t n = l.rows;
+  H2S_CHECK(l.rows == l.cols && b.cols == n, "trsm_lower_right: shape mismatch");
+  if (n == 0 || b.rows == 0) return;
+  // The "right-hand-side count" of the right-side solve is the row count.
+  if (!use_blocked_solve(n, b.rows)) {
+    trsm_lower_right_scalar(l, op_l, b, unit_diag);
+    return;
+  }
+  if (op_l == Op::None) {
+    // X L = B: solve column blocks right to left, then update the columns to
+    // the left with the sub-diagonal panel of L.
+    for (index_t j1 = n; j1 > 0;) {
+      const index_t nb = std::min(kTrsmBlock, j1);
+      const index_t j0 = j1 - nb;
+      trsm_lower_right_scalar(l.block(j0, j0, nb, nb), Op::None, b.col_range(j0, nb), unit_diag);
+      if (j0 > 0)
+        gemm(-1.0, b.col_range(j0, nb), Op::None, l.block(j0, 0, nb, j0), Op::None, 1.0,
+             b.col_range(0, j0));
+      j1 = j0;
+    }
+  } else {
+    // X L^T = B: L^T is upper triangular, solve column blocks left to right.
+    for (index_t j0 = 0; j0 < n; j0 += kTrsmBlock) {
+      const index_t nb = std::min(kTrsmBlock, n - j0);
+      if (j0 > 0)
+        gemm(-1.0, b.col_range(0, j0), Op::None, l.block(j0, 0, nb, j0), Op::Trans, 1.0,
+             b.col_range(j0, nb));
+      trsm_lower_right_scalar(l.block(j0, j0, nb, nb), Op::Trans, b.col_range(j0, nb), unit_diag);
+    }
+  }
+}
+
+namespace {
+
+/// Scalar left-looking Cholesky (the original kernel): diagonal blocks of
+/// the blocked path and whole small matrices.
+void cholesky_scalar(MatrixView a) {
   const index_t n = a.rows;
-  H2S_CHECK(a.rows == a.cols, "cholesky: square matrix required");
   for (index_t k = 0; k < n; ++k) {
     real_t d = a(k, k);
     for (index_t p = 0; p < k; ++p) d -= a(k, p) * a(k, p);
@@ -139,33 +230,54 @@ void cholesky(MatrixView a) {
   }
 }
 
-void cholesky_solve(ConstMatrixView l, MatrixView b) {
-  const index_t n = l.rows;
-  H2S_CHECK(l.rows == l.cols && b.rows == n, "cholesky_solve: shape mismatch");
-  if (n == 0 || b.cols == 0) return;
-  if (!use_blocked_solve(n, b.cols)) {
-    lower_solve_scalar(l, b);
-    lower_trans_solve_scalar(l, b);
+} // namespace
+
+void cholesky(MatrixView a) {
+  const index_t n = a.rows;
+  H2S_CHECK(a.rows == a.cols, "cholesky: square matrix required");
+  // Small systems (the batched per-node blocks) stay on the scalar kernel;
+  // large ones go blocked so the O(n^3) is spent in the gemm engine:
+  // right-looking with a scalar diagonal factor, a right-side trsm for the
+  // panel and a gemm trailing update on the lower triangle.
+  constexpr index_t kCholBlock = 128;
+  if (n <= 2 * kCholBlock) {
+    cholesky_scalar(a);
     return;
   }
-  // Forward sweep L Z = B, top-down with gemm updates from solved blocks.
-  for (index_t i0 = 0; i0 < n; i0 += kTrsmBlock) {
-    const index_t nb = std::min(kTrsmBlock, n - i0);
-    if (i0 > 0)
-      gemm(-1.0, l.block(i0, 0, nb, i0), Op::None, b.row_range(0, i0), Op::None, 1.0,
-           b.row_range(i0, nb));
-    lower_solve_scalar(l.block(i0, i0, nb, nb), b.row_range(i0, nb));
+  for (index_t k0 = 0; k0 < n; k0 += kCholBlock) {
+    const index_t nb = std::min(kCholBlock, n - k0);
+    cholesky_scalar(a.block(k0, k0, nb, nb));
+    const index_t rest = n - k0 - nb;
+    if (rest == 0) continue;
+    // Panel: L21 L11^T = A21.
+    trsm_lower_right(a.block(k0, k0, nb, nb), Op::Trans, a.block(k0 + nb, k0, rest, nb));
+    // Trailing update A22 -= L21 L21^T, lower triangle only: per column
+    // strip, a scalar rank-nb update on the diagonal block (preserving the
+    // untouched-upper contract) and one tall gemm for the rows below it.
+    for (index_t j0 = 0; j0 < rest; j0 += kCholBlock) {
+      const index_t jb = std::min(kCholBlock, rest - j0);
+      ConstMatrixView lj(a.block(k0 + nb + j0, k0, jb, nb));
+      MatrixView d = a.block(k0 + nb + j0, k0 + nb + j0, jb, jb);
+      for (index_t j = 0; j < jb; ++j)
+        for (index_t i = j; i < jb; ++i) {
+          real_t s = 0.0;
+          for (index_t p = 0; p < nb; ++p) s += lj(i, p) * lj(j, p);
+          d(i, j) -= s;
+        }
+      const index_t below = rest - j0 - jb;
+      if (below > 0)
+        gemm(-1.0, a.block(k0 + nb + j0 + jb, k0, below, nb), Op::None, lj, Op::Trans, 1.0,
+             a.block(k0 + nb + j0 + jb, k0 + nb + j0, below, jb));
+    }
   }
-  // Backward sweep L^T X = Z, bottom-up.
-  for (index_t i1 = n; i1 > 0;) {
-    const index_t nb = std::min(kTrsmBlock, i1);
-    const index_t i0 = i1 - nb;
-    if (i1 < n)
-      gemm(-1.0, l.block(i1, i0, n - i1, nb), Op::Trans, b.row_range(i1, n - i1), Op::None, 1.0,
-           b.row_range(i0, nb));
-    lower_trans_solve_scalar(l.block(i0, i0, nb, nb), b.row_range(i0, nb));
-    i1 = i0;
-  }
+}
+
+void cholesky_solve(ConstMatrixView l, MatrixView b) {
+  H2S_CHECK(l.rows == l.cols && b.rows == l.rows, "cholesky_solve: shape mismatch");
+  // Forward sweep L Z = B, backward sweep L^T X = Z; both inherit the
+  // blocked-vs-scalar dispatch from trsm_lower_left.
+  trsm_lower_left(l, Op::None, b);
+  trsm_lower_left(l, Op::Trans, b);
 }
 
 real_t norm_f(ConstMatrixView a) {

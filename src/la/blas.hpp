@@ -50,8 +50,21 @@ void gemv(real_t alpha, ConstMatrixView a, Op op_a, const_real_span x, real_t be
 /// implicit unit diagonal). B has R.cols rows.
 void trsm_upper_left(ConstMatrixView r, Op op_r, MatrixView b, bool unit_diag = false);
 
+/// Solve op(L) * X = B in place for lower-triangular L. B has L.rows rows.
+/// Blocked like trsm_upper_left: scalar substitution on kTrsmBlock diagonal
+/// blocks, gemm updates in between.
+void trsm_lower_left(ConstMatrixView l, Op op_l, MatrixView b, bool unit_diag = false);
+
+/// Solve X * op(L) = B in place for lower-triangular L (the right-side
+/// variant the ULV factorization needs for W = D_sz L^{-T}). B has L.rows
+/// columns.
+void trsm_lower_right(ConstMatrixView l, Op op_l, MatrixView b, bool unit_diag = false);
+
 /// In-place lower Cholesky factorization A = L L^T of an SPD matrix (the
 /// strict upper triangle is left untouched). Throws on a non-positive pivot.
+/// Large systems run a blocked right-looking sweep (scalar diagonal factor,
+/// right-side trsm panel, gemm trailing update); small ones — the batched
+/// per-node blocks — stay on the scalar kernel.
 void cholesky(MatrixView a);
 
 /// Solve A X = B in place given the Cholesky factor L (lower) of A.

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <memory>
+
+#include "batched/device.hpp"
+#include "core/config.hpp"
+#include "core/stats.hpp"
+#include "kernels/entry_gen.hpp"
+#include "kernels/sampler.hpp"
+#include "solver/hss_matrix.hpp"
+
+/// \file hss_construction.hpp
+/// Genuine bottom-up sketching-based HSS construction (Martinsson 2011, the
+/// paper's reference [29]) producing the dedicated HssMatrix storage — the
+/// weak-admissibility algorithm the paper extends to strongly-admissible H2.
+///
+/// Same black-box inputs as Algorithm 1 (a sketching operator Y = K Omega
+/// and a batched entry generator), same adaptive sampling loop, but the
+/// weak-admissibility structure is hard-wired: the only near-field blocks
+/// are the leaf diagonals and every level carries exactly one coupling block
+/// per sibling pair. Processing runs level by level from the leaves on
+/// ExecutionContext streams:
+///   1. assemble local samples Y_loc (subtract the leaf diagonal at the
+///      leaves, the child pair coupling above);
+///   2. adaptively add sample rounds until every node passes the
+///      min |diag R| convergence probe, replaying new columns through the
+///      completed levels;
+///   3. batched row-ID the samples into generators (U at leaves, stacked
+///      transfers above) and skeleton indices;
+///   4. sweep samples and random vectors up;
+///   5. evaluate the sibling-pair coupling blocks at the skeletons.
+
+namespace h2sketch::solver {
+
+struct HssResult {
+  HssMatrix matrix;
+  core::ConstructionStats stats;
+};
+
+/// Run the bottom-up HSS construction under the given execution context.
+HssResult build_hss(std::shared_ptr<const tree::ClusterTree> tree, kern::MatVecSampler& sampler,
+                    const kern::EntryGenerator& gen, const core::ConstructionOptions& opts,
+                    batched::ExecutionContext& ctx);
+
+/// Convenience overload with an internal Batched context.
+HssResult build_hss(std::shared_ptr<const tree::ClusterTree> tree, kern::MatVecSampler& sampler,
+                    const kern::EntryGenerator& gen, const core::ConstructionOptions& opts);
+
+} // namespace h2sketch::solver

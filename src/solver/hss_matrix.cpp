@@ -1,0 +1,152 @@
+#include "solver/hss_matrix.hpp"
+
+#include <algorithm>
+
+#include "la/blas.hpp"
+
+namespace h2sketch::solver {
+
+void HssMatrix::init_structure() {
+  const index_t levels = num_levels();
+  ranks.assign(static_cast<size_t>(levels), {});
+  generators.assign(static_cast<size_t>(levels), {});
+  coupling.assign(static_cast<size_t>(levels), {});
+  skeleton.assign(static_cast<size_t>(levels), {});
+  for (index_t l = 0; l < levels; ++l) {
+    const auto nodes = static_cast<size_t>(tree->nodes_at(l));
+    ranks[static_cast<size_t>(l)].assign(nodes, 0);
+    generators[static_cast<size_t>(l)].assign(nodes, Matrix());
+    skeleton[static_cast<size_t>(l)].assign(nodes, {});
+    if (l >= 1) coupling[static_cast<size_t>(l)].assign(nodes / 2, Matrix());
+  }
+  leaf_diag.assign(static_cast<size_t>(tree->nodes_at(leaf_level())), Matrix());
+}
+
+index_t HssMatrix::min_rank() const {
+  index_t mn = size();
+  for (index_t l = 1; l < num_levels(); ++l)
+    for (index_t r : ranks[static_cast<size_t>(l)]) mn = std::min(mn, r);
+  return num_levels() > 1 ? mn : 0;
+}
+
+index_t HssMatrix::max_rank() const {
+  index_t mx = 0;
+  for (index_t l = 1; l < num_levels(); ++l)
+    for (index_t r : ranks[static_cast<size_t>(l)]) mx = std::max(mx, r);
+  return mx;
+}
+
+std::size_t HssMatrix::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& lvl : generators)
+    for (const auto& g : lvl) bytes += static_cast<std::size_t>(g.size()) * sizeof(real_t);
+  for (const auto& lvl : coupling)
+    for (const auto& b : lvl) bytes += static_cast<std::size_t>(b.size()) * sizeof(real_t);
+  for (const auto& d : leaf_diag) bytes += static_cast<std::size_t>(d.size()) * sizeof(real_t);
+  for (const auto& lvl : skeleton)
+    for (const auto& s : lvl) bytes += s.size() * sizeof(index_t);
+  return bytes;
+}
+
+Matrix HssMatrix::expand_generator(index_t level, index_t node) const {
+  const auto ul = static_cast<size_t>(level);
+  const auto un = static_cast<size_t>(node);
+  if (level == leaf_level()) return to_matrix(generators[ul][un].view());
+  const Matrix u1 = expand_generator(level + 1, 2 * node);
+  const Matrix u2 = expand_generator(level + 1, 2 * node + 1);
+  const Matrix& e = generators[ul][un];
+  const index_t k = ranks[ul][un];
+  Matrix out(u1.rows() + u2.rows(), k);
+  if (u1.cols() > 0)
+    la::gemm(1.0, u1.view(), la::Op::None, e.view().row_range(0, u1.cols()), la::Op::None, 0.0,
+             out.view().row_range(0, u1.rows()));
+  if (u2.cols() > 0)
+    la::gemm(1.0, u2.view(), la::Op::None, e.view().row_range(u1.cols(), u2.cols()), la::Op::None,
+             0.0, out.view().row_range(u1.rows(), u2.rows()));
+  return out;
+}
+
+Matrix HssMatrix::densify() const {
+  const index_t n = size();
+  Matrix a(n, n);
+  const index_t leaf = leaf_level();
+  // Dense leaf diagonals.
+  for (index_t i = 0; i < tree->nodes_at(leaf); ++i) {
+    const index_t b = tree->begin(leaf, i);
+    const Matrix& d = leaf_diag[static_cast<size_t>(i)];
+    copy(d.view(), a.view().block(b, b, d.rows(), d.cols()));
+  }
+  // Off-diagonal sibling pairs: U_s B U_t^T and the mirrored transpose.
+  for (index_t l = 1; l < num_levels(); ++l) {
+    for (index_t p = 0; p < tree->nodes_at(l) / 2; ++p) {
+      const index_t s = 2 * p, t = 2 * p + 1;
+      const Matrix& b = coupling[static_cast<size_t>(l)][static_cast<size_t>(p)];
+      if (b.empty()) continue;
+      const Matrix us = expand_generator(l, s);
+      const Matrix ut = expand_generator(l, t);
+      Matrix ub(us.rows(), b.cols());
+      la::gemm(1.0, us.view(), la::Op::None, b.view(), la::Op::None, 0.0, ub.view());
+      MatrixView blk =
+          a.view().block(tree->begin(l, s), tree->begin(l, t), us.rows(), ut.rows());
+      la::gemm(1.0, ub.view(), la::Op::None, ut.view(), la::Op::Trans, 0.0, blk);
+      // Symmetric mirror.
+      MatrixView blk_t =
+          a.view().block(tree->begin(l, t), tree->begin(l, s), ut.rows(), us.rows());
+      for (index_t j = 0; j < blk.cols; ++j)
+        for (index_t i = 0; i < blk.rows; ++i) blk_t(j, i) = blk(i, j);
+    }
+  }
+  return a;
+}
+
+void HssMatrix::validate() const {
+  H2S_CHECK(tree != nullptr, "HssMatrix: missing cluster tree");
+  const index_t levels = num_levels();
+  const index_t leaf = leaf_level();
+  H2S_CHECK(static_cast<index_t>(ranks.size()) == levels &&
+                static_cast<index_t>(generators.size()) == levels &&
+                static_cast<index_t>(coupling.size()) == levels &&
+                static_cast<index_t>(skeleton.size()) == levels,
+            "HssMatrix: per-level container count mismatch");
+  H2S_CHECK(static_cast<index_t>(leaf_diag.size()) == tree->nodes_at(leaf),
+            "HssMatrix: leaf diagonal count mismatch");
+  for (index_t i = 0; i < tree->nodes_at(leaf); ++i) {
+    const Matrix& d = leaf_diag[static_cast<size_t>(i)];
+    H2S_CHECK(d.rows() == tree->size(leaf, i) && d.cols() == tree->size(leaf, i),
+              "HssMatrix: leaf diagonal dimension mismatch at node " << i);
+  }
+  for (index_t l = 1; l < levels; ++l) {
+    const auto ul = static_cast<size_t>(l);
+    H2S_CHECK(static_cast<index_t>(ranks[ul].size()) == tree->nodes_at(l),
+              "HssMatrix: rank count mismatch at level " << l);
+    H2S_CHECK(static_cast<index_t>(coupling[ul].size()) == tree->nodes_at(l) / 2,
+              "HssMatrix: coupling pair count mismatch at level " << l);
+    for (index_t i = 0; i < tree->nodes_at(l); ++i) {
+      const auto ui = static_cast<size_t>(i);
+      const index_t k = ranks[ul][ui];
+      const Matrix& g = generators[ul][ui];
+      if (l == leaf) {
+        H2S_CHECK(g.rows() == tree->size(l, i) && g.cols() == k,
+                  "HssMatrix: leaf generator dimension mismatch at node " << i);
+      } else {
+        const index_t rsum = ranks[ul + 1][static_cast<size_t>(2 * i)] +
+                             ranks[ul + 1][static_cast<size_t>(2 * i + 1)];
+        H2S_CHECK(g.rows() == rsum && g.cols() == k,
+                  "HssMatrix: transfer dimension mismatch at level " << l << " node " << i);
+      }
+      H2S_CHECK(static_cast<index_t>(skeleton[ul][ui].size()) == k,
+                "HssMatrix: skeleton size != rank at level " << l << " node " << i);
+      for (index_t pos : skeleton[ul][ui])
+        H2S_CHECK(pos >= tree->begin(l, i) && pos < tree->end(l, i),
+                  "HssMatrix: skeleton index outside node range at level " << l);
+    }
+    for (index_t p = 0; p < tree->nodes_at(l) / 2; ++p) {
+      const Matrix& b = coupling[ul][static_cast<size_t>(p)];
+      H2S_CHECK(b.rows() == ranks[ul][static_cast<size_t>(2 * p)] &&
+                    b.cols() == ranks[ul][static_cast<size_t>(2 * p + 1)],
+                "HssMatrix: coupling dimension mismatch at level " << l << " pair " << p);
+    }
+  }
+}
+
+} // namespace h2sketch::solver

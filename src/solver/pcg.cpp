@@ -1,0 +1,82 @@
+#include "solver/pcg.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "la/blas.hpp"
+
+namespace h2sketch::solver {
+
+PcgResult pcg(const ApplyFn& apply_a, const_real_span b, real_span x, const PcgOptions& opts,
+              const ApplyFn& precond) {
+  const auto n = b.size();
+  H2S_CHECK(x.size() == n, "pcg: size mismatch");
+  PcgResult out;
+
+  std::vector<real_t> r(n), z(n), p(n), ap(n);
+  // r = b - A x.
+  apply_a(x, r);
+  for (size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  const real_t bnorm = la::norm2(b);
+  if (bnorm == 0.0) {
+    for (size_t i = 0; i < n; ++i) x[i] = 0.0;
+    out.converged = true;
+    out.history.push_back(0.0);
+    return out;
+  }
+
+  auto apply_m = [&](const_real_span in, real_span outv) {
+    if (precond)
+      precond(in, outv);
+    else
+      for (size_t i = 0; i < n; ++i) outv[i] = in[i];
+  };
+
+  out.history.push_back(la::norm2(r) / bnorm);
+  if (out.history.back() <= opts.tol) {
+    // Warm start already solves the system; entering the loop would divide
+    // by p^T A p = 0.
+    out.converged = true;
+    out.rel_residual = out.history.back();
+    return out;
+  }
+  apply_m(r, z);
+  for (size_t i = 0; i < n; ++i) p[i] = z[i];
+  real_t rz = la::dot(r, z);
+
+  for (index_t it = 0; it < opts.max_iters; ++it) {
+    apply_a(p, ap);
+    const real_t pap = la::dot(p, ap);
+    H2S_CHECK(pap > 0.0, "pcg: operator is not positive definite (p^T A p = " << pap << ")");
+    const real_t alpha = rz / pap;
+    la::axpy(alpha, p, x);
+    la::axpy(-alpha, ap, r);
+    ++out.iterations;
+    const real_t rel = la::norm2(r) / bnorm;
+    out.history.push_back(rel);
+    if (rel <= opts.tol) {
+      out.converged = true;
+      out.rel_residual = rel;
+      return out;
+    }
+    apply_m(r, z);
+    const real_t rz_new = la::dot(r, z);
+    const real_t beta = rz_new / rz;
+    rz = rz_new;
+    for (size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  out.rel_residual = out.history.back();
+  return out;
+}
+
+PcgResult pcg(const ApplyFn& apply_a, const_real_span b, real_span x, const PcgOptions& opts,
+              const UlvCholesky& ulv) {
+  // One execution context serves every M^{-1} application of the run
+  // instead of constructing and tearing one down per iteration.
+  batched::ExecutionContext ctx(batched::Backend::Batched);
+  return pcg(apply_a, b, x, opts, ApplyFn([&ulv, &ctx](const_real_span in, real_span outv) {
+               ulv.solve(in, outv, ctx);
+             }));
+}
+
+} // namespace h2sketch::solver

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "solver/ulv.hpp"
+
+/// \file pcg.hpp
+/// Preconditioned conjugate gradients with the HSS-ULV factorization as the
+/// preconditioner: the serving pattern the solver subsystem targets — a
+/// cheap coarse-tolerance HSS compression is ULV-factored once, then every
+/// application of M^{-1} is an O(N r) solve, while the operator itself is
+/// applied through the fast (strong-admissibility) H2 matvec.
+
+namespace h2sketch::solver {
+
+/// y = A * x on length-N spans (permuted position order, like h2_matvec).
+using ApplyFn = std::function<void(const_real_span, real_span)>;
+
+struct PcgOptions {
+  real_t tol = 1e-10;      ///< relative residual ||r|| / ||b|| target
+  index_t max_iters = 500; ///< iteration cap
+};
+
+struct PcgResult {
+  index_t iterations = 0;
+  real_t rel_residual = 0.0;
+  bool converged = false;
+  /// ||r_k|| / ||b|| per iteration (entry 0 = initial residual).
+  std::vector<real_t> history;
+};
+
+/// Solve A x = b by CG; `precond` (M^{-1} apply) may be null for plain CG.
+/// x is used as the initial guess and overwritten with the solution.
+PcgResult pcg(const ApplyFn& apply_a, const_real_span b, real_span x, const PcgOptions& opts,
+              const ApplyFn& precond = nullptr);
+
+/// HSS-ULV preconditioned CG: wraps `ulv.solve` as M^{-1}.
+PcgResult pcg(const ApplyFn& apply_a, const_real_span b, real_span x, const PcgOptions& opts,
+              const UlvCholesky& ulv);
+
+} // namespace h2sketch::solver

@@ -1,0 +1,336 @@
+#include "solver/ulv.hpp"
+
+#include <utility>
+
+#include "batched/batched_gemm.hpp"
+#include "batched/batched_solve.hpp"
+#include "la/blas.hpp"
+#include "la/qr.hpp"
+
+namespace h2sketch::solver {
+
+namespace {
+
+/// Right-multiply B := B Q for the packed Householder Q of `qr`:
+/// B Q = (Q^T B^T)^T, materialized through an explicit transpose.
+void apply_q_right(ConstMatrixView qr, const std::vector<real_t>& tau, MatrixView b) {
+  Matrix bt(b.cols, b.rows);
+  for (index_t j = 0; j < b.cols; ++j)
+    for (index_t i = 0; i < b.rows; ++i) bt(j, i) = b(i, j);
+  la::apply_q_transpose(qr, tau, bt.view());
+  for (index_t j = 0; j < b.cols; ++j)
+    for (index_t i = 0; i < b.rows; ++i) b(i, j) = bt(j, i);
+}
+
+/// Merge a sibling pair into the parent-local (or root) diagonal:
+/// dst = [S_1, R_1 B R_2^T; (.)^T, S_2] from the children's Schur
+/// complements, reduced generators and the pair's coupling block.
+void merge_siblings(const UlvNode& c1, const UlvNode& c2, const Matrix& b, MatrixView dst) {
+  const index_t r1 = c1.rank, r2 = c2.rank;
+  copy(c1.dhat.view().block(0, 0, r1, r1), dst.block(0, 0, r1, r1));
+  copy(c2.dhat.view().block(0, 0, r2, r2), dst.block(r1, r1, r2, r2));
+  if (r1 > 0 && r2 > 0) {
+    Matrix rb(r1, r2);
+    la::gemm(1.0, c1.utilde.view(), la::Op::None, b.view(), la::Op::None, 0.0, rb.view());
+    MatrixView off = dst.block(0, r1, r1, r2);
+    la::gemm(1.0, rb.view(), la::Op::None, c2.utilde.view(), la::Op::Trans, 0.0, off);
+    MatrixView off_t = dst.block(r1, 0, r2, r1);
+    for (index_t jj = 0; jj < r2; ++jj)
+      for (index_t ii = 0; ii < r1; ++ii) off_t(jj, ii) = off(ii, jj);
+  }
+}
+
+/// Assemble the node-local diagonal D and merged generator G for one node,
+/// then rotate: qr <- QR(G), utilde <- R, dhat <- Q^T D Q. All outputs are
+/// preallocated; the body runs inside a batched launch.
+void assemble_and_rotate(const HssMatrix& a, const std::vector<std::vector<UlvNode>>& nodes,
+                         index_t level, index_t i, UlvNode& nd) {
+  const index_t leaf = a.leaf_level();
+  const auto ul = static_cast<size_t>(level);
+  const index_t n = nd.n_loc;
+  const index_t r = nd.rank;
+
+  // Local diagonal block.
+  if (level == leaf) {
+    copy(a.leaf_diag[static_cast<size_t>(i)].view(), nd.dhat.view());
+  } else {
+    merge_siblings(nodes[ul + 1][static_cast<size_t>(2 * i)],
+                   nodes[ul + 1][static_cast<size_t>(2 * i + 1)],
+                   a.coupling[ul + 1][static_cast<size_t>(i)], nd.dhat.view());
+  }
+
+  // Merged generator: U at the leaf, [R_1 E_1; R_2 E_2] above. The root
+  // (level 0) never reaches this function.
+  if (level == leaf) {
+    copy(a.generators[ul][static_cast<size_t>(i)].view(), nd.qr.view());
+  } else {
+    const auto& c1 = nodes[ul + 1][static_cast<size_t>(2 * i)];
+    const auto& c2 = nodes[ul + 1][static_cast<size_t>(2 * i + 1)];
+    const Matrix& e = a.generators[ul][static_cast<size_t>(i)];
+    if (c1.rank > 0 && r > 0)
+      la::gemm(1.0, c1.utilde.view(), la::Op::None, e.view().row_range(0, c1.rank), la::Op::None,
+               0.0, nd.qr.view().row_range(0, c1.rank));
+    if (c2.rank > 0 && r > 0)
+      la::gemm(1.0, c2.utilde.view(), la::Op::None, e.view().row_range(c1.rank, c2.rank),
+               la::Op::None, 0.0, nd.qr.view().row_range(c1.rank, c2.rank));
+  }
+
+  // Rotate: G = Q [R; 0]; Dh = Q^T D Q; R becomes the reduced generator.
+  la::householder_qr(nd.qr.view(), nd.tau);
+  la::apply_q_transpose(nd.qr.view(), nd.tau, nd.dhat.view());
+  apply_q_right(nd.qr.view(), nd.tau, nd.dhat.view());
+  for (index_t jj = 0; jj < r; ++jj)
+    for (index_t ii = 0; ii <= jj && ii < r; ++ii) nd.utilde(ii, jj) = nd.qr(ii, jj);
+  (void)n;
+}
+
+} // namespace
+
+UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx) {
+  a.validate();
+  UlvCholesky f;
+  f.tree_ = a.tree;
+  const index_t levels = a.num_levels();
+  const index_t leaf = a.leaf_level();
+  f.nodes_.resize(static_cast<size_t>(levels));
+
+  if (levels == 1) {
+    // Degenerate single-node tree: the HSS matrix is one dense block.
+    f.root_factor_ = to_matrix(a.leaf_diag[0].view());
+    la::cholesky(f.root_factor_.view());
+    return f;
+  }
+
+  const auto stream = batched::kSampleStream;
+  for (index_t l = leaf; l >= 1; --l) {
+    const index_t nodes = a.tree->nodes_at(l);
+    const auto ul = static_cast<size_t>(l);
+    auto& lvl = f.nodes_[ul];
+    lvl.resize(static_cast<size_t>(nodes));
+
+    // Host-side marshaling: sizes depend only on ranks/cluster sizes, so the
+    // panels can be preallocated before any launch of this level runs.
+    for (index_t i = 0; i < nodes; ++i) {
+      UlvNode& nd = lvl[static_cast<size_t>(i)];
+      nd.rank = a.rank(l, i);
+      nd.n_loc = l == leaf ? a.tree->size(l, i)
+                           : a.rank(l + 1, 2 * i) + a.rank(l + 1, 2 * i + 1);
+      H2S_CHECK(nd.rank <= nd.n_loc, "ulv_factor: rank exceeds local dimension");
+      nd.qr.resize(nd.n_loc, nd.rank);
+      nd.dhat.resize(nd.n_loc, nd.n_loc);
+      nd.utilde.resize(nd.rank, nd.rank);
+    }
+
+    // Launch 1: assemble + QR + two-sided rotation (compress). Reads the
+    // children's S/R panels, written by the previous level's launches on the
+    // same stream — FIFO order is the level barrier.
+    UlvNode* nodes_ptr = lvl.data();
+    ctx.run_batch(
+        stream, nodes,
+        [nodes_ptr](index_t i) {
+          const index_t n = nodes_ptr[i].n_loc;
+          return n * n * n + 1;
+        },
+        [&a, &f, l, nodes_ptr](index_t i) {
+          assemble_and_rotate(a, f.nodes_, l, i, nodes_ptr[i]);
+        });
+
+    // Launches 2-4: eliminate the interior blocks — batched potrf on Dh_zz,
+    // batched right-side trsm for W = Dh_sz Lz^{-T}, batched gemm for the
+    // Schur complement S = Dh_ss - W W^T. Same stream, FIFO.
+    std::vector<MatrixView> dzz;
+    std::vector<ConstMatrixView> lz, wc;
+    std::vector<MatrixView> dsz, dss;
+    for (index_t i = 0; i < nodes; ++i) {
+      UlvNode& nd = lvl[static_cast<size_t>(i)];
+      const index_t r = nd.rank, z = nd.nz();
+      dzz.push_back(z > 0 ? nd.dhat.view().block(r, r, z, z) : MatrixView());
+      lz.push_back(z > 0 ? ConstMatrixView(nd.dhat.view().block(r, r, z, z)) : ConstMatrixView());
+      dsz.push_back(r > 0 && z > 0 ? nd.dhat.view().block(0, r, r, z) : MatrixView());
+      wc.push_back(r > 0 && z > 0 ? ConstMatrixView(nd.dhat.view().block(0, r, r, z))
+                                  : ConstMatrixView());
+      // S only changes when there is an interior block to eliminate; an
+      // empty entry skips the (beta = 1) no-op launch body.
+      dss.push_back(r > 0 && z > 0 ? nd.dhat.view().block(0, 0, r, r) : MatrixView());
+    }
+    std::vector<ConstMatrixView> wt = wc; // both gemm operands are W
+    batched::batched_potrf(ctx, stream, std::move(dzz));
+    batched::batched_trsm_lower(ctx, stream, batched::TrsmSide::Right, la::Op::Trans,
+                                std::move(lz), std::move(dsz));
+    batched::batched_gemm(ctx, stream, -1.0, std::move(wc), la::Op::None, std::move(wt),
+                          la::Op::Trans, 1.0, std::move(dss));
+  }
+
+  // Root: merge the level-1 Schur complements and factor densely.
+  ctx.sync(stream);
+  const UlvNode& c1 = f.nodes_[1][0];
+  const UlvNode& c2 = f.nodes_[1][1];
+  f.root_factor_.resize(c1.rank + c2.rank, c1.rank + c2.rank);
+  merge_siblings(c1, c2, a.coupling[1][0], f.root_factor_.view());
+  la::cholesky(f.root_factor_.view());
+  return f;
+}
+
+UlvCholesky ulv_factor(const HssMatrix& a) {
+  batched::ExecutionContext ctx(batched::Backend::Batched);
+  return ulv_factor(a, ctx);
+}
+
+void UlvCholesky::solve_many(ConstMatrixView b, MatrixView x,
+                             batched::ExecutionContext& ctx) const {
+  const index_t n = size();
+  const index_t nrhs = b.cols;
+  H2S_CHECK(b.rows == n && x.rows == n && x.cols == nrhs, "ulv solve: shape mismatch");
+  const index_t levels = tree_->num_levels();
+  const index_t leaf = tree_->leaf_level();
+
+  if (levels == 1) {
+    copy(b, x);
+    la::cholesky_solve(root_factor_.view(), x);
+    return;
+  }
+
+  // Per-node working panels (local right-hand sides / solutions), alive for
+  // the whole solve.
+  std::vector<std::vector<Matrix>> work(static_cast<size_t>(levels));
+  for (index_t l = 1; l < levels; ++l) {
+    const index_t cnt = tree_->nodes_at(l);
+    work[static_cast<size_t>(l)].resize(static_cast<size_t>(cnt));
+    for (index_t i = 0; i < cnt; ++i)
+      work[static_cast<size_t>(l)][static_cast<size_t>(i)].resize(
+          nodes_[static_cast<size_t>(l)][static_cast<size_t>(i)].n_loc, nrhs);
+  }
+
+  const auto stream = batched::kSampleStream;
+
+  // Forward sweep, leaves up: rotate the local rhs, solve the interior
+  // block, push the skeleton part to the parent. FIFO on one stream stands
+  // in for level barriers.
+  for (index_t l = leaf; l >= 1; --l) {
+    const index_t cnt = tree_->nodes_at(l);
+    const auto ul = static_cast<size_t>(l);
+    auto* lvl_nodes = &nodes_[ul][0];
+    auto* lvl_work = &work[ul][0];
+    auto* child_work = l == leaf ? nullptr : &work[ul + 1][0];
+    const UlvNode* child_nodes = l == leaf ? nullptr : &nodes_[ul + 1][0];
+    ctx.run_batch(
+        stream, cnt,
+        [lvl_nodes, nrhs](index_t i) {
+          const index_t m = lvl_nodes[i].n_loc;
+          return m * m * nrhs + 1;
+        },
+        [this, b, l, leaf, lvl_nodes, lvl_work, child_work, child_nodes, nrhs](index_t i) {
+          const UlvNode& nd = lvl_nodes[i];
+          Matrix& w = lvl_work[i];
+          if (nd.n_loc == 0) return;
+          if (l == leaf) {
+            copy(b.block(tree_->begin(l, i), 0, nd.n_loc, nrhs), w.view());
+          } else {
+            const UlvNode& c1 = child_nodes[2 * i];
+            const UlvNode& c2 = child_nodes[2 * i + 1];
+            if (c1.rank > 0)
+              copy(child_work[2 * i].view().row_range(0, c1.rank),
+                   w.view().row_range(0, c1.rank));
+            if (c2.rank > 0)
+              copy(child_work[2 * i + 1].view().row_range(0, c2.rank),
+                   w.view().row_range(c1.rank, c2.rank));
+          }
+          la::apply_q_transpose(nd.qr.view(), nd.tau, w.view());
+          const index_t r = nd.rank, z = nd.nz();
+          if (z > 0) {
+            MatrixView wz = w.view().row_range(r, z);
+            la::trsm_lower_left(nd.dhat.view().block(r, r, z, z), la::Op::None, wz);
+            if (r > 0)
+              la::gemm(-1.0, nd.dhat.view().block(0, r, r, z), la::Op::None, wz, la::Op::None,
+                       1.0, w.view().row_range(0, r));
+          }
+        });
+  }
+  ctx.sync(stream);
+
+  // Root system.
+  const UlvNode& c1 = nodes_[1][0];
+  const UlvNode& c2 = nodes_[1][1];
+  const index_t r1 = c1.rank, r2 = c2.rank;
+  Matrix root_rhs(r1 + r2, nrhs);
+  if (r1 > 0) copy(work[1][0].view().row_range(0, r1), root_rhs.view().row_range(0, r1));
+  if (r2 > 0) copy(work[1][1].view().row_range(0, r2), root_rhs.view().row_range(r1, r2));
+  la::cholesky_solve(root_factor_.view(), root_rhs.view());
+  if (r1 > 0) copy(root_rhs.view().row_range(0, r1), work[1][0].view().row_range(0, r1));
+  if (r2 > 0) copy(root_rhs.view().row_range(r1, r2), work[1][1].view().row_range(0, r2));
+
+  // Backward sweep, top down: recover the interior unknowns, rotate back,
+  // scatter to the children (or to x at the leaves).
+  for (index_t l = 1; l < levels; ++l) {
+    const index_t cnt = tree_->nodes_at(l);
+    const auto ul = static_cast<size_t>(l);
+    auto* lvl_nodes = &nodes_[ul][0];
+    auto* lvl_work = &work[ul][0];
+    auto* child_work = l == leaf ? nullptr : &work[ul + 1][0];
+    const UlvNode* child_nodes = l == leaf ? nullptr : &nodes_[ul + 1][0];
+    ctx.run_batch(
+        stream, cnt,
+        [lvl_nodes, nrhs](index_t i) {
+          const index_t m = lvl_nodes[i].n_loc;
+          return m * m * nrhs + 1;
+        },
+        [this, x, l, leaf, lvl_nodes, lvl_work, child_work, child_nodes, nrhs](index_t i) {
+          const UlvNode& nd = lvl_nodes[i];
+          Matrix& w = lvl_work[i];
+          if (nd.n_loc == 0) return;
+          const index_t r = nd.rank, z = nd.nz();
+          if (z > 0) {
+            MatrixView wz = w.view().row_range(r, z);
+            if (r > 0)
+              la::gemm(-1.0, nd.dhat.view().block(0, r, r, z), la::Op::Trans,
+                       w.view().row_range(0, r), la::Op::None, 1.0, wz);
+            la::trsm_lower_left(nd.dhat.view().block(r, r, z, z), la::Op::Trans, wz);
+          }
+          la::apply_q(nd.qr.view(), nd.tau, w.view());
+          if (l == leaf) {
+            copy(w.view(), x.block(tree_->begin(l, i), 0, nd.n_loc, nrhs));
+          } else {
+            const UlvNode& c1 = child_nodes[2 * i];
+            const UlvNode& c2 = child_nodes[2 * i + 1];
+            if (c1.rank > 0)
+              copy(w.view().row_range(0, c1.rank),
+                   child_work[2 * i].view().row_range(0, c1.rank));
+            if (c2.rank > 0)
+              copy(w.view().row_range(c1.rank, c2.rank),
+                   child_work[2 * i + 1].view().row_range(0, c2.rank));
+          }
+        });
+  }
+  ctx.sync(stream);
+}
+
+void UlvCholesky::solve_many(ConstMatrixView b, MatrixView x) const {
+  batched::ExecutionContext ctx(batched::Backend::Batched);
+  solve_many(b, x, ctx);
+}
+
+void UlvCholesky::solve(const_real_span b, real_span x, batched::ExecutionContext& ctx) const {
+  const index_t n = size();
+  H2S_CHECK(static_cast<index_t>(b.size()) == n && static_cast<index_t>(x.size()) == n,
+            "ulv solve: size mismatch");
+  ConstMatrixView bv(b.data(), n, 1, n == 0 ? 1 : n);
+  MatrixView xv(x.data(), n, 1, n == 0 ? 1 : n);
+  solve_many(bv, xv, ctx);
+}
+
+void UlvCholesky::solve(const_real_span b, real_span x) const {
+  batched::ExecutionContext ctx(batched::Backend::Batched);
+  solve(b, x, ctx);
+}
+
+std::size_t UlvCholesky::memory_bytes() const {
+  std::size_t bytes = static_cast<std::size_t>(root_factor_.size()) * sizeof(real_t);
+  for (const auto& lvl : nodes_)
+    for (const UlvNode& nd : lvl)
+      bytes += static_cast<std::size_t>(nd.qr.size() + nd.dhat.size() + nd.utilde.size()) *
+                   sizeof(real_t) +
+               nd.tau.size() * sizeof(real_t);
+  return bytes;
+}
+
+} // namespace h2sketch::solver

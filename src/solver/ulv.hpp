@@ -1,0 +1,99 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "batched/device.hpp"
+#include "solver/hss_matrix.hpp"
+
+/// \file ulv.hpp
+/// ULV Cholesky factorization of a symmetric positive definite HssMatrix and
+/// the forward/backward solve sweeps (the missing piece the compressed
+/// frontal matrices of Fig. 6(b) feed into).
+///
+/// Per node, bottom-up (compress - eliminate - merge):
+///   1. QR the node's (merged) generator G = Q [R; 0]: after rotating the
+///      local variables by Q^T, only the leading `rank` rows still couple to
+///      the rest of the matrix (their off-diagonal block row is R B ...);
+///      the trailing n_loc - rank rows are interior.
+///   2. Transform the local diagonal Dh = Q^T D Q, Cholesky-eliminate the
+///      interior block: Dh_zz = Lz Lz^T, W = Dh_sz Lz^{-T}, leaving the
+///      Schur complement S = Dh_ss - W W^T on the skeleton variables.
+///   3. Merge siblings at the parent: D_p = [S_1, R_1 B R_2^T; ., S_2] and
+///      G_p = [R_1 E_1; R_2 E_2], and recurse; the root system is factored
+///      densely.
+///
+/// The level sweep is executed as cost-annotated batches on one
+/// ExecutionContext stream (assemble+QR+transform, then batched potrf /
+/// trsm / gemm from batched_solve.hpp); FIFO stream order replaces explicit
+/// level barriers, so independent nodes overlap while the numerics stay
+/// bitwise identical for every thread count.
+
+namespace h2sketch::solver {
+
+/// Per-node factor panels (see file comment for the roles).
+struct UlvNode {
+  index_t n_loc = 0; ///< local dimension at elimination time
+  index_t rank = 0;  ///< rows surviving to the parent (HSS rank)
+  Matrix qr;         ///< packed Householder QR of the merged generator
+  std::vector<real_t> tau;
+  /// Transformed local diagonal after elimination: the leading rank x rank
+  /// block holds the Schur complement S, the trailing block holds Lz (lower
+  /// triangle), and the rank x (n_loc - rank) strip holds W.
+  Matrix dhat;
+  Matrix utilde; ///< reduced generator R passed to the parent (rank x rank)
+
+  index_t nz() const { return n_loc - rank; }
+};
+
+/// The factored form: per-level node panels plus the dense root factor.
+/// Self-contained (shares tree ownership), movable, independent of the
+/// HssMatrix it was factored from.
+class UlvCholesky {
+ public:
+  /// Solve A x = b for one right-hand side; b and x are length-N vectors in
+  /// the cluster tree's permuted position order (like h2_matvec).
+  void solve(const_real_span b, real_span x) const;
+
+  /// Same, on a caller-provided context — the serving form: one context
+  /// reused across many solves (e.g. every pcg iteration).
+  void solve(const_real_span b, real_span x, batched::ExecutionContext& ctx) const;
+
+  /// Multi-RHS solve: B and X are N x nrhs, permuted order. Level sweeps run
+  /// as batched launches on the context's streams.
+  void solve_many(ConstMatrixView b, MatrixView x, batched::ExecutionContext& ctx) const;
+
+  /// Convenience overload with an internal Batched context.
+  void solve_many(ConstMatrixView b, MatrixView x) const;
+
+  index_t size() const { return tree_ ? tree_->num_points() : 0; }
+  const tree::ClusterTree& tree() const { return *tree_; }
+
+  /// Factor panel bytes (per-node QR/Dh/R plus the root factor).
+  std::size_t memory_bytes() const;
+
+  /// The dense factor of the final reduced root system (tests/bench).
+  const Matrix& root_factor() const { return root_factor_; }
+  const UlvNode& node(index_t level, index_t i) const {
+    return nodes_[static_cast<size_t>(level)][static_cast<size_t>(i)];
+  }
+
+ private:
+  friend UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx);
+
+  std::shared_ptr<const tree::ClusterTree> tree_;
+  /// nodes_[l][i] for levels 1..leaf; levels 0 stays empty (the root system
+  /// is root_factor_).
+  std::vector<std::vector<UlvNode>> nodes_;
+  Matrix root_factor_; ///< lower Cholesky of the merged root system
+};
+
+/// ULV-factor an SPD HssMatrix. Throws (std::runtime_error) on a
+/// non-positive pivot, i.e. when the compressed matrix is not numerically
+/// SPD.
+UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx);
+
+/// Convenience overload with an internal Batched context.
+UlvCholesky ulv_factor(const HssMatrix& a);
+
+} // namespace h2sketch::solver

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/dense_sampler.hpp"
 #include "la/blas.hpp"
 
 namespace h2sketch::sparse {
@@ -27,6 +28,36 @@ void partial_cholesky(MatrixView f, index_t ns) {
   // Symmetrize the trailing block (only the lower half was updated).
   for (index_t j = ns; j < nf; ++j)
     for (index_t i = j + 1; i < nf; ++i) f(j, i) = f(i, j);
+}
+
+/// HSS-compress + ULV-factor the assembled root front over the separator's
+/// grid geometry (the compressed-front serving path of Fig. 6(b)).
+std::unique_ptr<RootCompression> compress_root_front(const Matrix& root_front,
+                                                     const std::vector<index_t>& root_vars,
+                                                     const Grid& g,
+                                                     const MultifrontalOptions& opts) {
+  const index_t nv = static_cast<index_t>(root_vars.size());
+  auto tr = std::make_shared<tree::ClusterTree>(
+      tree::ClusterTree::build(grid_points(g, root_vars), opts.root_leaf_size));
+
+  // The construction operates in tree-permuted position space: permute the
+  // front once, then hand it to the dense sampler/entry-generator pair.
+  auto out = std::make_unique<RootCompression>();
+  out->perm = tr->perm();
+  Matrix permuted(nv, nv);
+  gather_block(root_front.view(), out->perm, out->perm, permuted.view());
+
+  kern::DenseMatrixSampler sampler(permuted.view());
+  kern::DenseEntryGenerator gen(permuted.view());
+  core::ConstructionOptions copts;
+  copts.tol = opts.root_tol;
+  copts.sample_block = 32;
+  copts.initial_samples = 64;
+  auto res = solver::build_hss(tr, sampler, gen, copts);
+  out->ulv = solver::ulv_factor(res.matrix);
+  out->stats = std::move(res.stats);
+  out->hss = std::move(res.matrix);
+  return out;
 }
 
 } // namespace
@@ -123,8 +154,12 @@ MultifrontalResult multifrontal_root_front(const CsrMatrix& a, const Grid& g,
       out.root_front = to_matrix(f.view());
       out.root_vars = fr.sep;
       if (opts.keep_factors) {
-        partial_cholesky(f.view(), ns);
-        out.factors[static_cast<size_t>(id)] = std::move(f);
+        if (opts.compress_root) {
+          out.root_ulv = compress_root_front(out.root_front, out.root_vars, g, opts);
+        } else {
+          partial_cholesky(f.view(), ns);
+          out.factors[static_cast<size_t>(id)] = std::move(f);
+        }
       }
     } else {
       partial_cholesky(f.view(), ns);
@@ -137,14 +172,18 @@ MultifrontalResult multifrontal_root_front(const CsrMatrix& a, const Grid& g,
 }
 
 void MultifrontalResult::solve(const_real_span b, real_span x) const {
-  H2S_CHECK(!factors.empty() && !factors[static_cast<size_t>(tree.root)].empty(),
+  H2S_CHECK(!factors.empty() &&
+                (root_ulv != nullptr || !factors[static_cast<size_t>(tree.root)].empty()),
             "solve requires keep_factors = true at factorization time");
   H2S_CHECK(b.size() == x.size(), "solve: size mismatch");
   std::vector<real_t> w(b.begin(), b.end());
 
   // Forward: L z = b, fronts bottom-up. Each front solves its L11 block and
-  // pushes the L21 contribution onto its boundary variables.
+  // pushes the L21 contribution onto its boundary variables. A compressed
+  // root is not eliminated here: its fully-assembled system solves in one
+  // ULV sweep during the backward pass below.
   for (index_t id : tree.postorder) {
+    if (id == tree.root && root_ulv) continue;
     const Front& fr = fronts[static_cast<size_t>(id)];
     const Matrix& f = factors[static_cast<size_t>(id)];
     const index_t ns = static_cast<index_t>(fr.sep.size());
@@ -167,6 +206,19 @@ void MultifrontalResult::solve(const_real_span b, real_span x) const {
   // Backward: L^T x = z, fronts top-down (ancestor variables solve first).
   for (auto it = tree.postorder.rbegin(); it != tree.postorder.rend(); ++it) {
     const index_t id = *it;
+    if (id == tree.root && root_ulv) {
+      // Root system F_root x_root = w_root through the ULV factorization of
+      // the HSS-compressed front, in separator-permuted order.
+      const auto& rc = *root_ulv;
+      const size_t nv = root_vars.size();
+      std::vector<real_t> bp(nv), xp(nv);
+      for (size_t p = 0; p < nv; ++p)
+        bp[p] = w[static_cast<size_t>(root_vars[static_cast<size_t>(rc.perm[p])])];
+      rc.ulv.solve(bp, xp);
+      for (size_t p = 0; p < nv; ++p)
+        x[static_cast<size_t>(root_vars[static_cast<size_t>(rc.perm[p])])] = xp[p];
+      continue;
+    }
     const Front& fr = fronts[static_cast<size_t>(id)];
     const Matrix& f = factors[static_cast<size_t>(id)];
     const index_t ns = static_cast<index_t>(fr.sep.size());

@@ -4,6 +4,7 @@
 #include "baselines/peeling_hodlr.hpp"
 #include "baselines/topdown.hpp"
 #include "common/random.hpp"
+#include "core/construction.hpp"
 #include "h2/h2_dense.hpp"
 #include "kernels/dense_sampler.hpp"
 #include "kernels/kernels.hpp"
@@ -103,16 +104,18 @@ TEST(Hss, WeakAdmissibilityViaAlgorithmOne) {
   opts.sample_block = 16;
   opts.initial_samples = 32;
   auto res = construct_hss(tr, sampler, gen, opts);
-  EXPECT_LT(rel_fro_error(h2::densify(res.matrix).view(), kd.view()), 1e-6);
-  EXPECT_EQ(res.matrix.mtree.csp(), 1);
+  EXPECT_LT(rel_fro_error(res.matrix.densify().view(), kd.view()), 1e-6);
+  EXPECT_EQ(res.stats.csp, 1);
 }
 
-TEST(Hss, IsExactlyWeakAdmissibilityConstructH2) {
-  // Pin the current behavior: construct_hss is a thin wrapper that forwards
-  // to construct_h2 with Admissibility::weak() and nothing else (see
-  // src/baselines/hss.hpp). Bitwise-equal outputs and identical stats are
-  // the baseline diff for a future dedicated HSS implementation — when that
-  // lands, this test is EXPECTED to change alongside it.
+TEST(Hss, MatchesWeakAdmissibilityConstructH2ToTolerance) {
+  // The explicit behavioral diff ROADMAP promised: construct_hss is no
+  // longer the thin construct_h2(Admissibility::weak()) wrapper pinned by
+  // the retired Hss.IsExactlyWeakAdmissibilityConstructH2 test — it now
+  // builds dedicated HSS generator storage (solver::HssMatrix) through the
+  // solver subsystem. Both constructions compress the same operator with
+  // the same tolerance, so their densified matrices must agree to that
+  // tolerance (relative to ||K||), but not bitwise.
   auto tr = test_util::build_cube_tree(512, 1, 47, 32);
   kern::ExponentialKernel k(0.5);
   const Matrix kd = dense_kernel_matrix(*tr, k);
@@ -127,14 +130,19 @@ TEST(Hss, IsExactlyWeakAdmissibilityConstructH2) {
   auto r_hss = construct_hss(tr, s_hss, gen_hss, opts);
   auto r_h2 = core::construct_h2(tr, Admissibility::weak(), s_h2, gen_h2, opts);
 
-  EXPECT_EQ(max_abs_diff(h2::densify(r_hss.matrix).view(), h2::densify(r_h2.matrix).view()),
-            0.0);
-  EXPECT_EQ(r_hss.stats.total_samples, r_h2.stats.total_samples);
-  EXPECT_EQ(r_hss.stats.sample_rounds, r_h2.stats.sample_rounds);
-  EXPECT_EQ(r_hss.stats.max_rank, r_h2.stats.max_rank);
-  EXPECT_EQ(r_hss.stats.entries_generated, r_h2.stats.entries_generated);
+  const Matrix d_hss = r_hss.matrix.densify();
+  const Matrix d_h2 = h2::densify(r_h2.matrix);
+  // Each approximates K to ~tol; they agree with each other to the same
+  // order. A structural regression in either shows up orders above this.
+  EXPECT_LT(rel_fro_error(d_hss.view(), d_h2.view()), 100 * opts.tol);
+  EXPECT_LT(rel_fro_error(d_hss.view(), kd.view()), 100 * opts.tol);
   // Weak admissibility == HSS structure: coupling sparsity constant 1.
-  EXPECT_EQ(r_hss.matrix.mtree.csp(), 1);
+  EXPECT_EQ(r_hss.stats.csp, 1);
+  // Same adaptive machinery on the same operator: ranks land in the same
+  // ballpark (identical convergence probe, identical tolerance).
+  EXPECT_NEAR(static_cast<double>(r_hss.stats.max_rank),
+              static_cast<double>(r_h2.stats.max_rank),
+              0.5 * static_cast<double>(r_h2.stats.max_rank));
 }
 
 TEST(Hss, BottomUpNeedsFarFewerSamplesThanTopDownPeeling) {

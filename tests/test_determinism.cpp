@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -13,6 +14,8 @@
 #include "h2/h2_matvec.hpp"
 #include "kernels/dense_sampler.hpp"
 #include "kernels/kernels.hpp"
+#include "solver/hss_construction.hpp"
+#include "solver/ulv.hpp"
 #include "test_common.hpp"
 
 #if defined(_OPENMP)
@@ -136,6 +139,106 @@ TEST(Determinism, FlatAndStreamRuntimesAgreeBitwise) {
   EXPECT_EQ(flat.ranks_per_level, streams.ranks_per_level);
   EXPECT_EQ(max_abs_diff(flat.dense.view(), streams.dense.view()), 0.0);
   EXPECT_EQ(max_abs_diff(flat.matvec.view(), streams.matvec.view()), 0.0);
+}
+
+/// Outputs of one HSS-ULV build + solve that could betray a scheduling
+/// dependence in the solver subsystem.
+struct UlvOutput {
+  Matrix dense;      ///< densified HSS
+  Matrix root;       ///< dense root factor of the ULV form
+  Matrix solve_one;  ///< single-RHS solve result
+  Matrix solve_many; ///< 3-RHS batched solve result
+};
+
+UlvOutput build_ulv_with_threads(int threads) {
+#if defined(_OPENMP)
+  const int prev = omp_get_max_threads();
+  omp_set_num_threads(threads);
+#else
+  (void)threads;
+#endif
+  auto tr = test_util::build_cube_tree(600, 2, 505, 16);
+  kern::ExponentialKernel base(0.25);
+  kern::RidgeKernel k(base, 1.0);
+  const Matrix kd = test_util::dense_kernel_matrix(*tr, k);
+  kern::DenseMatrixSampler sampler(kd.view());
+  kern::KernelEntryGenerator gen(*tr, k);
+  ConstructionOptions opts;
+  opts.tol = 1e-7;
+  opts.sample_block = 16;
+  opts.initial_samples = 32;
+  batched::ExecutionContext ctx(batched::Backend::Batched);
+  auto res = solver::build_hss(tr, sampler, gen, opts, ctx);
+  solver::UlvCholesky f = solver::ulv_factor(res.matrix, ctx);
+
+  UlvOutput out;
+  out.dense = res.matrix.densify();
+  out.root = to_matrix(f.root_factor().view());
+  Matrix b1(600, 1), bn(600, 3);
+  fill_gaussian(b1.view(), GaussianStream(606));
+  fill_gaussian(bn.view(), GaussianStream(607));
+  out.solve_one.resize(600, 1);
+  out.solve_many.resize(600, 3);
+  f.solve_many(b1.view(), out.solve_one.view(), ctx);
+  f.solve_many(bn.view(), out.solve_many.view(), ctx);
+#if defined(_OPENMP)
+  omp_set_num_threads(prev);
+#endif
+  return out;
+}
+
+TEST(UlvDeterminism, FactorsAndSolvesAreBitwiseIdenticalAcrossThreadCounts) {
+  // The solver subsystem rides the same stream runtime as the construction:
+  // cost-derived chunk boundaries, per-node arithmetic order fixed. ULV
+  // factor panels and solve outputs must be bitwise identical at any pool
+  // width, with streams enabled (Batched backend).
+  const UlvOutput ref = build_ulv_with_threads(1);
+  ASSERT_GT(ref.root.rows(), 0);
+  for (int threads : {2, 4}) {
+    const UlvOutput got = build_ulv_with_threads(threads);
+    EXPECT_EQ(max_abs_diff(got.dense.view(), ref.dense.view()), 0.0) << threads << " threads";
+    EXPECT_EQ(max_abs_diff(got.root.view(), ref.root.view()), 0.0) << threads << " threads";
+    EXPECT_EQ(max_abs_diff(got.solve_one.view(), ref.solve_one.view()), 0.0)
+        << threads << " threads";
+    EXPECT_EQ(max_abs_diff(got.solve_many.view(), ref.solve_many.view()), 0.0)
+        << threads << " threads";
+  }
+}
+
+/// Slow-label guard (see tests/CMakeLists.txt): the ULV solve residual at
+/// N = 8192 must track the construction tolerance — the acceptance bar for
+/// the solver workload at scale, using the O(N) on-the-fly kernel sampler
+/// so no N^2 matrix is ever stored.
+TEST(UlvSlowGuard, SolveResidualAtN8192TracksTolerance) {
+  const index_t n = 8192;
+  auto tr = test_util::build_cube_tree(n, 2, 808, 64);
+  kern::ExponentialKernel base(0.2);
+  // Regularized GP covariance K + sigma^2 I: the ridge bounds the smallest
+  // eigenvalue, so the relative residual of the approximate solve is
+  // ~ tol * ||K||_F / sigma^2 — well inside the 100x-tol acceptance bar.
+  kern::RidgeKernel k(base, 10.0);
+  kern::KernelMatVecSampler sampler(*tr, k);
+  kern::KernelEntryGenerator gen(*tr, k);
+  ConstructionOptions opts;
+  opts.tol = 1e-6;
+  opts.sample_block = 32;
+  opts.initial_samples = 64;
+  auto res = solver::build_hss(tr, sampler, gen, opts);
+  EXPECT_EQ(res.stats.nonconverged_nodes, 0);
+  solver::UlvCholesky f = solver::ulv_factor(res.matrix);
+
+  Matrix b(n, 1), x(n, 1), ax(n, 1);
+  fill_gaussian(b.view(), GaussianStream(809));
+  f.solve_many(b.view(), x.view());
+  kern::KernelMatVecSampler applier(*tr, k);
+  applier.sample(x.view(), ax.view());
+  real_t num = 0, den = 0;
+  for (index_t i = 0; i < n; ++i) {
+    num += (ax(i, 0) - b(i, 0)) * (ax(i, 0) - b(i, 0));
+    den += b(i, 0) * b(i, 0);
+  }
+  // Acceptance shape: relative residual within 100x the construction tol.
+  EXPECT_LT(std::sqrt(num / den), 100 * opts.tol);
 }
 
 #if defined(_OPENMP)

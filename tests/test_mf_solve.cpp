@@ -60,6 +60,62 @@ TEST(MfSolve, MatchesDenseCholeskySolve) {
     EXPECT_NEAR(x[static_cast<size_t>(i)], rhs(i, 0), 1e-10);
 }
 
+TEST(MfSolve, CompressedRootFrontRoundTripsPoissonSolve) {
+  // The Fig. 6(b) end-to-end story: the assembled root front is
+  // HSS-compressed over the separator geometry and ULV-factored; the solve
+  // path routes the root block through the ULV sweeps and must still
+  // round-trip A x = b on the Poisson grid.
+  for (const Grid g : {Grid{12, 12, 1}, Grid{8, 8, 8}}) {
+    const CsrMatrix a = poisson_matrix(g);
+    MultifrontalOptions opts;
+    opts.max_leaf = 16;
+    opts.keep_factors = true;
+    opts.compress_root = true;
+    opts.root_tol = 1e-10;
+    opts.root_leaf_size = 16;
+    const MultifrontalResult mf = multifrontal_root_front(a, g, opts);
+    ASSERT_NE(mf.root_ulv, nullptr);
+    EXPECT_TRUE(mf.factors[static_cast<size_t>(mf.tree.root)].empty());
+    EXPECT_GT(mf.root_ulv->ulv.memory_bytes(), 0u);
+
+    const std::vector<real_t> b = test_util::random_vector(a.n, 7);
+    std::vector<real_t> x(static_cast<size_t>(a.n)), r(static_cast<size_t>(a.n));
+    mf.solve(b, x);
+    a.spmv(x, r);
+    real_t resid = 0, bnorm = 0;
+    for (size_t i = 0; i < b.size(); ++i) {
+      resid += (r[i] - b[i]) * (r[i] - b[i]);
+      bnorm += b[i] * b[i];
+    }
+    // The only approximation in the pipeline is the root compression at
+    // root_tol; the grid operator is mildly conditioned, so the end-to-end
+    // residual stays within a few orders of that.
+    EXPECT_LT(std::sqrt(resid / bnorm), 1e-6) << "grid " << g.nx << "x" << g.ny << "x" << g.nz;
+  }
+}
+
+TEST(MfSolve, CompressedRootMatchesDenseRootSolve) {
+  const Grid g{10, 10, 1};
+  const CsrMatrix a = poisson_matrix(g);
+  MultifrontalOptions dense_opts;
+  dense_opts.max_leaf = 8;
+  dense_opts.keep_factors = true;
+  const MultifrontalResult dense_mf = multifrontal_root_front(a, g, dense_opts);
+
+  MultifrontalOptions hss_opts = dense_opts;
+  hss_opts.compress_root = true;
+  hss_opts.root_tol = 1e-12;
+  hss_opts.root_leaf_size = 8;
+  const MultifrontalResult hss_mf = multifrontal_root_front(a, g, hss_opts);
+
+  const std::vector<real_t> b = test_util::random_vector(a.n, 8);
+  std::vector<real_t> x_dense(static_cast<size_t>(a.n)), x_hss(static_cast<size_t>(a.n));
+  dense_mf.solve(b, x_dense);
+  hss_mf.solve(b, x_hss);
+  for (index_t i = 0; i < a.n; ++i)
+    EXPECT_NEAR(x_hss[static_cast<size_t>(i)], x_dense[static_cast<size_t>(i)], 1e-7);
+}
+
 TEST(MfSolve, SolveWithoutFactorsThrows) {
   const Grid g{6, 6, 1};
   const CsrMatrix a = poisson_matrix(g);
