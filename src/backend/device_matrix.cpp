@@ -1,0 +1,54 @@
+#include "backend/device_matrix.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace h2sketch::backend {
+
+void DeviceMatrix::resize(DeviceBackend& b, index_t m, index_t n) {
+  resize_uninitialized(b, m, n);
+  if (!buf_.empty()) b.fill_zero(buf_.data(), buf_.bytes());
+}
+
+void DeviceMatrix::resize_uninitialized(DeviceBackend& b, index_t m, index_t n) {
+  H2S_CHECK(m >= 0 && n >= 0, "negative dimension");
+  const auto bytes = static_cast<std::size_t>(m) * static_cast<std::size_t>(n) * sizeof(real_t);
+  if (bytes != buf_.bytes() || buf_.backend() != &b) buf_ = b.allocate(bytes);
+  rows_ = m;
+  cols_ = n;
+}
+
+void DeviceMatrix::append_cols(DeviceBackend& b, index_t extra) {
+  H2S_CHECK(extra >= 0, "negative column count");
+  if (extra == 0) return;
+  const index_t m = rows_, n = cols_;
+  const auto old_bytes = static_cast<std::size_t>(m) * static_cast<std::size_t>(n) * sizeof(real_t);
+  const auto new_bytes =
+      static_cast<std::size_t>(m) * static_cast<std::size_t>(n + extra) * sizeof(real_t);
+  DeviceBuffer grown = b.allocate(new_bytes);
+  if (new_bytes != 0) {
+    // Contiguous column-major storage: the old columns are one block and
+    // only the appended tail needs the zero fill.
+    if (old_bytes != 0) b.copy_on_device(grown.data(), buf_.data(), old_bytes);
+    b.fill_zero(static_cast<std::byte*>(grown.data()) + old_bytes, new_bytes - old_bytes);
+  }
+  buf_ = std::move(grown);
+  cols_ = n + extra;
+}
+
+void DeviceMatrix::upload_from(ConstMatrixView host) {
+  DeviceBackend* b = buf_.backend();
+  H2S_CHECK(b != nullptr && host.rows == rows_ && host.cols == cols_,
+            "upload_from: unallocated target or shape mismatch");
+  b->upload(host, view());
+}
+
+Matrix DeviceMatrix::to_host() const {
+  Matrix out(rows_, cols_);
+  if (DeviceBackend* b = buf_.backend(); b != nullptr && !empty())
+    b->download(view(), out.view());
+  return out;
+}
+
+} // namespace h2sketch::backend

@@ -1,0 +1,62 @@
+#pragma once
+
+#include "backend/device_backend.hpp"
+
+/// \file device_matrix.hpp
+/// Owning column-major matrix whose storage is a backend DeviceBuffer —
+/// the device-resident counterpart of `Matrix`. Views over it are ordinary
+/// MatrixViews (POD pointer + dims), so the batched primitives work on
+/// host and device operands alike; the difference is that on a poisoning
+/// backend the view's data may only be touched inside kernel scopes or
+/// through the backend's explicit copy calls.
+///
+/// Semantics mirror `Matrix` where the construction algorithm relies on
+/// them: `resize` zero-fills (adaptive beta=0 skips depend on zeroed
+/// targets) and `append_cols` grows by zeroed columns preserving content
+/// (a device-to-device copy).
+
+namespace h2sketch::backend {
+
+class DeviceMatrix {
+ public:
+  DeviceMatrix() = default;
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  /// Device-address views (contiguous, ld == rows).
+  MatrixView view() {
+    return MatrixView(static_cast<real_t*>(buf_.data()), rows_, cols_, std::max<index_t>(rows_, 1));
+  }
+  ConstMatrixView view() const {
+    return ConstMatrixView(static_cast<const real_t*>(buf_.data()), rows_, cols_,
+                           std::max<index_t>(rows_, 1));
+  }
+
+  /// Resize to m x n on `b`, discarding contents (entries zeroed).
+  void resize(DeviceBackend& b, index_t m, index_t n);
+
+  /// Resize without the zero fill, for panels whose every entry the next
+  /// kernel overwrites (e.g. the ULV factor panels) — skips a full write
+  /// pass over device memory.
+  void resize_uninitialized(DeviceBackend& b, index_t m, index_t n);
+
+  /// Append `extra` zero columns, preserving contents (device-side copy).
+  void append_cols(DeviceBackend& b, index_t extra);
+
+  /// Marshal a whole matrix across the boundary.
+  void upload_from(ConstMatrixView host);
+  Matrix to_host() const;
+
+  DeviceBackend* backend() const { return buf_.backend(); }
+  const std::shared_ptr<DeviceBackend>& backend_ptr() const { return buf_.backend_ptr(); }
+
+ private:
+  DeviceBuffer buf_;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+};
+
+} // namespace h2sketch::backend

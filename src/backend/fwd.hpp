@@ -1,0 +1,17 @@
+#pragma once
+
+/// \file fwd.hpp
+/// Forward declarations shared between the backend layer and the batched
+/// execution layer, so that op signatures can mention the execution context
+/// without creating an include cycle (device.hpp owns the full definition).
+
+namespace h2sketch::batched {
+
+class ExecutionContext;
+
+/// Logical stream handle (mirrors CUDA stream handles). The full stream API
+/// lives in batched/device.hpp; the alias is re-declared here so backend op
+/// signatures can name it.
+using StreamId = int;
+
+} // namespace h2sketch::batched

@@ -1,0 +1,71 @@
+#include "backend/registry.hpp"
+
+#include <array>
+#include <cstdlib>
+#include <mutex>
+
+#include "backend/cpu_backend.hpp"
+#include "backend/sim_device.hpp"
+#include "common/check.hpp"
+
+namespace h2sketch::backend {
+
+namespace {
+
+constexpr std::array<std::string_view, 3> kNames = {"naive", "cpu", "simdevice"};
+
+std::shared_ptr<DeviceBackend> shared_device(std::string_view name) {
+  // One device instance per kind for the whole process: contexts created
+  // per call (convenience overloads, samplers) must share the device heap,
+  // and mixing construction-time and solve-time contexts must see the same
+  // address space.
+  static std::mutex mu;
+  static std::shared_ptr<DeviceBackend> cpu, sim;
+  std::lock_guard<std::mutex> lk(mu);
+  if (name == "simdevice") {
+    if (!sim) sim = make_sim_device();
+    return sim;
+  }
+  if (!cpu) cpu = make_cpu_backend();
+  return cpu;
+}
+
+} // namespace
+
+std::span<const std::string_view> registered_backends() { return kNames; }
+
+ExecutionConfig make_backend(std::string_view name) {
+  if (name == "naive") return {make_cpu_backend(), LaunchMode::Naive};
+  if (name == "cpu") return {make_cpu_backend(), LaunchMode::Batched};
+  if (name == "simdevice") return {make_sim_device(), LaunchMode::Batched};
+  H2S_CHECK(false, "unknown backend '" << std::string(name)
+                                       << "' (registered: naive, cpu, simdevice)");
+  return {};
+}
+
+ExecutionConfig shared_backend(std::string_view name) {
+  if (name == "naive") return {shared_device("cpu"), LaunchMode::Naive};
+  if (name == "cpu") return {shared_device("cpu"), LaunchMode::Batched};
+  if (name == "simdevice") return {shared_device("simdevice"), LaunchMode::Batched};
+  H2S_CHECK(false, "unknown backend '" << std::string(name)
+                                       << "' (registered: naive, cpu, simdevice)");
+  return {};
+}
+
+const std::string& default_backend_name() {
+  static const std::string name = [] {
+    if (const char* s = std::getenv("H2SKETCH_BACKEND")) {
+      const std::string v(s);
+      for (std::string_view n : kNames)
+        if (v == n) return v;
+      H2S_CHECK(false, "H2SKETCH_BACKEND='" << v << "' is not a registered backend "
+                                            << "(naive, cpu, simdevice)");
+    }
+    return std::string("cpu");
+  }();
+  return name;
+}
+
+ExecutionConfig default_backend() { return shared_backend(default_backend_name()); }
+
+} // namespace h2sketch::backend

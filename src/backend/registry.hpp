@@ -1,0 +1,47 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "backend/device_backend.hpp"
+
+/// \file registry.hpp
+/// Named backend configurations. A configuration pairs a device backend
+/// (who owns memory and the primitive implementations) with a launch mode
+/// (how many launches a batch costs), which is what `H2SKETCH_BACKEND`
+/// selects process-wide:
+///
+///   * `cpu`       — CpuBackend, batched launches (the default)
+///   * `naive`     — CpuBackend, one launch per batch entry (ablation)
+///   * `simdevice` — SimulatedDevice, batched launches (the GPU-shaped
+///                   path with a separate, poisoned device heap)
+///
+/// `registered_backends()` lets tests and benches iterate every
+/// configuration; `shared_backend()` returns process-wide singletons so
+/// that short-lived ExecutionContexts (convenience overloads create one
+/// per call) share a device heap instead of re-reserving one each time.
+
+namespace h2sketch::backend {
+
+/// Names of every registered backend configuration.
+std::span<const std::string_view> registered_backends();
+
+/// Create a configuration with a *fresh* device backend instance (its
+/// stats counters start at zero). Throws on unknown names.
+ExecutionConfig make_backend(std::string_view name);
+
+/// Configuration backed by the process-wide shared device instance for
+/// `name` ("cpu" and "naive" share one CpuBackend). Throws on unknown
+/// names.
+ExecutionConfig shared_backend(std::string_view name);
+
+/// $H2SKETCH_BACKEND, validated, defaulting to "cpu".
+const std::string& default_backend_name();
+
+/// shared_backend(default_backend_name()) — what a default-constructed
+/// ExecutionContext uses.
+ExecutionConfig default_backend();
+
+} // namespace h2sketch::backend

@@ -1,0 +1,163 @@
+#include "backend/sim_device.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+#if defined(__linux__) || defined(__APPLE__)
+#define H2SKETCH_SIMDEVICE_MMAP 1
+#include <sys/mman.h>
+#else
+#define H2SKETCH_SIMDEVICE_MMAP 0
+#endif
+
+namespace h2sketch::backend {
+
+namespace {
+
+constexpr std::size_t kPage = 4096;
+constexpr std::size_t kDefaultHeapBytes = std::size_t{4} << 30; // 4 GiB of VA
+
+std::size_t round_up_page(std::size_t n) { return (n + kPage - 1) & ~(kPage - 1); }
+
+std::size_t env_heap_bytes() {
+  if (const char* s = std::getenv("H2SKETCH_SIMDEVICE_HEAP_MB")) {
+    const long v = std::atol(s);
+    if (v > 0) return static_cast<std::size_t>(v) << 20;
+  }
+  return kDefaultHeapBytes;
+}
+
+bool env_poison_default() {
+  if (const char* s = std::getenv("H2SKETCH_DEVICE_POISON")) return std::atoi(s) != 0;
+  return true;
+}
+
+} // namespace
+
+SimulatedDevice::SimulatedDevice(const SimDeviceOptions& opts) {
+  heap_bytes_ = round_up_page(opts.heap_bytes != 0 ? opts.heap_bytes : env_heap_bytes());
+  poison_ = opts.poison >= 0 ? opts.poison != 0 : env_poison_default();
+#if H2SKETCH_SIMDEVICE_MMAP
+  void* p = ::mmap(nullptr, heap_bytes_, PROT_NONE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  H2S_CHECK(p != MAP_FAILED, "SimulatedDevice: cannot reserve device heap of "
+                                 << heap_bytes_ << " bytes");
+  base_ = static_cast<std::byte*>(p);
+  mapped_ = true;
+#else
+  // No mmap/mprotect on this platform: fall back to a plain separate heap
+  // with poisoning disabled (the seam still exercises explicit copies).
+  base_ = new std::byte[heap_bytes_];
+  mapped_ = false;
+  poison_ = false;
+#endif
+}
+
+SimulatedDevice::~SimulatedDevice() {
+#if H2SKETCH_SIMDEVICE_MMAP
+  if (mapped_ && base_ != nullptr) ::munmap(base_, heap_bytes_);
+#else
+  delete[] base_;
+#endif
+}
+
+std::shared_ptr<SimulatedDevice> make_sim_device(SimDeviceOptions opts) {
+  return std::shared_ptr<SimulatedDevice>(new SimulatedDevice(opts));
+}
+
+bool SimulatedDevice::owns(const void* p) const {
+  const auto* b = static_cast<const std::byte*>(p);
+  return b >= base_ && b < base_ + heap_bytes_;
+}
+
+void SimulatedDevice::protect_all(int prot) const {
+#if H2SKETCH_SIMDEVICE_MMAP
+  if (high_water_ == 0) return;
+  const int rc = ::mprotect(base_, high_water_, prot);
+  H2S_CHECK(rc == 0, "SimulatedDevice: mprotect failed");
+#else
+  (void)prot;
+#endif
+}
+
+void* SimulatedDevice::do_allocate(std::size_t bytes) {
+  const std::size_t need = round_up_page(bytes);
+  std::lock_guard<std::mutex> lk(mu_);
+  // First fit over the page-granular free list.
+  for (auto it = free_blocks_.begin(); it != free_blocks_.end(); ++it) {
+    if (it->second >= need) {
+      const std::size_t off = it->first;
+      const std::size_t remain = it->second - need;
+      free_blocks_.erase(it);
+      if (remain > 0) free_blocks_.emplace(off + need, remain);
+      return base_ + off;
+    }
+  }
+  // Carve fresh pages from the top of the reservation.
+  H2S_CHECK(high_water_ + need <= heap_bytes_,
+            "SimulatedDevice: device heap exhausted (" << heap_bytes_ << " bytes reserved; set "
+                                                       << "H2SKETCH_SIMDEVICE_HEAP_MB higher)");
+  const std::size_t off = high_water_;
+  high_water_ += need;
+#if H2SKETCH_SIMDEVICE_MMAP
+  if (poison_) {
+    // Fresh pages are PROT_NONE; if a kernel scope is currently active they
+    // must join the process-wide unlock until the last scope exits
+    // (everything below them is already readable/writable).
+    if (scope_depth_ > 0) {
+      const int rc = ::mprotect(base_ + off, need, PROT_READ | PROT_WRITE);
+      H2S_CHECK(rc == 0, "SimulatedDevice: mprotect failed");
+    }
+  } else if (high_water_ > unlocked_limit_) {
+    const int rc = ::mprotect(base_ + unlocked_limit_, high_water_ - unlocked_limit_,
+                              PROT_READ | PROT_WRITE);
+    H2S_CHECK(rc == 0, "SimulatedDevice: mprotect failed");
+    unlocked_limit_ = high_water_;
+  }
+#endif
+  return base_ + off;
+}
+
+void SimulatedDevice::do_deallocate(void* ptr, std::size_t bytes) {
+  const std::size_t need = round_up_page(bytes);
+  const auto off = static_cast<std::size_t>(static_cast<std::byte*>(ptr) - base_);
+  std::lock_guard<std::mutex> lk(mu_);
+#if H2SKETCH_SIMDEVICE_MMAP
+  // Decommit freed pages so long-running processes do not accumulate RSS
+  // for dead device buffers; the VA range stays reserved for reuse.
+  ::madvise(ptr, need, MADV_DONTNEED);
+#endif
+  auto it = free_blocks_.emplace(off, need).first;
+  // Coalesce with the next and previous free blocks.
+  auto next = std::next(it);
+  if (next != free_blocks_.end() && it->first + it->second == next->first) {
+    it->second += next->second;
+    free_blocks_.erase(next);
+  }
+  if (it != free_blocks_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second == it->first) {
+      prev->second += it->second;
+      free_blocks_.erase(it);
+    }
+  }
+}
+
+void SimulatedDevice::kernel_enter() const {
+  if (!poison_) return;
+  std::lock_guard<std::mutex> lk(mu_);
+#if H2SKETCH_SIMDEVICE_MMAP
+  if (scope_depth_++ == 0) protect_all(PROT_READ | PROT_WRITE);
+#endif
+}
+
+void SimulatedDevice::kernel_exit() const {
+  if (!poison_) return;
+  std::lock_guard<std::mutex> lk(mu_);
+#if H2SKETCH_SIMDEVICE_MMAP
+  if (--scope_depth_ == 0) protect_all(PROT_NONE);
+#endif
+}
+
+} // namespace h2sketch::backend

@@ -4,11 +4,7 @@ namespace h2sketch::batched {
 
 void batched_min_r_diag(ExecutionContext& ctx, std::span<const ConstMatrixView> a,
                         std::span<real_t> out) {
-  H2S_CHECK(a.size() == out.size(), "batched_min_r_diag: batch size mismatch");
-  ctx.run_batch(static_cast<index_t>(a.size()), [&](index_t i) {
-    const auto ui = static_cast<size_t>(i);
-    out[ui] = la::min_abs_r_diag(a[ui]);
-  });
+  ctx.device().min_r_diag(ctx, a, out);
 }
 
 } // namespace h2sketch::batched

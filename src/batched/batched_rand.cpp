@@ -4,25 +4,12 @@ namespace h2sketch::batched {
 
 void batched_fill_gaussian(ExecutionContext& ctx, MatrixView a, const GaussianStream& stream,
                            std::uint64_t offset) {
-  // An empty fill is no launch — mirrors run_batch's uniform batch <= 0
-  // early-return so empty levels cost zero launches in both backends.
-  if (a.empty()) return;
-  // Parallelize across columns; element addressing keeps the result
-  // order-independent.
-  ctx.count_launch(1);
-  parallel_for(a.cols, [&](index_t j) {
-    for (index_t i = 0; i < a.rows; ++i)
-      a(i, j) = stream(offset + static_cast<std::uint64_t>(j) * a.rows + i);
-  });
+  ctx.device().fill_gaussian(ctx, a, stream, offset);
 }
 
 void batched_fill_gaussian(ExecutionContext& ctx, std::span<const MatrixView> blocks,
                            const GaussianStream& stream, std::span<const std::uint64_t> offsets) {
-  H2S_CHECK(blocks.size() == offsets.size(), "batched_fill_gaussian: batch size mismatch");
-  ctx.run_batch(static_cast<index_t>(blocks.size()), [&](index_t i) {
-    const auto u = static_cast<size_t>(i);
-    fill_gaussian(blocks[u], stream, offsets[u]);
-  });
+  ctx.device().fill_gaussian_blocks(ctx, blocks, stream, offsets);
 }
 
 } // namespace h2sketch::batched

@@ -20,8 +20,9 @@
 
 namespace h2sketch::batched {
 
-/// Which side of the unknown the triangular matrix sits on.
-enum class TrsmSide { Left, Right };
+/// Which side of the unknown the triangular matrix sits on (defined with
+/// the backend dispatch table; aliased here for the original call sites).
+using TrsmSide = backend::TrsmSide;
 
 /// In-place lower Cholesky a[i] = L_i L_i^T for each batch entry (the strict
 /// upper triangle is left untouched). Throws (at sync) on a non-positive

@@ -4,15 +4,7 @@ namespace h2sketch::batched {
 
 void batched_transpose(ExecutionContext& ctx, std::span<const ConstMatrixView> in,
                        std::span<const MatrixView> out) {
-  H2S_CHECK(in.size() == out.size(), "batched_transpose: batch size mismatch");
-  ctx.run_batch(static_cast<index_t>(in.size()), [&](index_t idx) {
-    const auto u = static_cast<size_t>(idx);
-    const ConstMatrixView& a = in[u];
-    const MatrixView& b = out[u];
-    H2S_CHECK(a.rows == b.cols && a.cols == b.rows, "batched_transpose: shape mismatch");
-    for (index_t j = 0; j < a.cols; ++j)
-      for (index_t i = 0; i < a.rows; ++i) b(j, i) = a(i, j);
-  });
+  ctx.device().transpose(ctx, in, out);
 }
 
 } // namespace h2sketch::batched

@@ -2,9 +2,19 @@
 
 #include <iostream>
 
+#include "backend/registry.hpp"
+
 namespace h2sketch::batched {
 
-ExecutionContext::ExecutionContext(Backend backend) : backend_(backend) {}
+ExecutionContext::ExecutionContext() : ExecutionContext(backend::default_backend()) {}
+
+ExecutionContext::ExecutionContext(Backend backend)
+    : ExecutionContext(backend::ExecutionConfig{backend::default_backend().device, backend}) {}
+
+ExecutionContext::ExecutionContext(backend::ExecutionConfig config)
+    : device_(std::move(config.device)), backend_(config.mode), workspace_(device_) {
+  H2S_CHECK(device_ != nullptr, "ExecutionContext: null device backend");
+}
 
 ExecutionContext::~ExecutionContext() {
   try {
@@ -82,6 +92,9 @@ void ExecutionContext::dispatch_front(StreamId s) {
   for (const auto& [begin, end] : launch->chunks) {
     pool.submit_detached([this, s, launch, begin = begin, end = end] {
       try {
+        // Chunk bodies are kernel code: unlock the device heap while they
+        // run (no-op on host backends).
+        backend::KernelScope ks(device_.get());
         for (index_t i = begin; i < end; ++i) launch->body(i);
       } catch (...) {
         record_stream_error(s, std::current_exception());

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "backend/device_backend.hpp"
 #include "common/parallel.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
@@ -47,10 +48,10 @@
 
 namespace h2sketch::batched {
 
-enum class Backend {
-  Naive,  ///< per-block execution: O(#blocks) kernel launches
-  Batched ///< one launch per level per operation: O(Csp log N) launches
-};
+/// Launch granularity (legacy name kept for the original call sites; the
+/// enum itself now lives in the backend layer as LaunchMode, alongside the
+/// device backends that pair with it — see backend/registry.hpp).
+using Backend = backend::LaunchMode;
 
 /// Logical stream handle. Streams are small fixed resources (like CUDA
 /// stream handles); call sites use the named constants below.
@@ -75,14 +76,32 @@ inline constexpr index_t kLaunchFanout = 64;
 
 /// Execution context: backend selection, stream scheduling, kernel-launch
 /// accounting, and the per-level arena workspace.
+///
+/// A context pairs a **device backend** (who owns device memory and the
+/// batched-primitive implementations — see backend/device_backend.hpp)
+/// with a **launch mode** (Naive vs Batched accounting). The
+/// default-constructed context uses the process-wide configuration from
+/// $H2SKETCH_BACKEND; passing only a launch mode keeps the configured
+/// device. Launch bodies execute inside the backend's kernel scopes, so on
+/// SimulatedDevice the device heap is accessible exactly while launches
+/// (or explicit copies) run.
 class ExecutionContext {
  public:
-  explicit ExecutionContext(Backend backend = Backend::Batched);
+  /// Process-default configuration ($H2SKETCH_BACKEND, default cpu/Batched).
+  ExecutionContext();
+  /// Explicit launch mode on the process-default device backend.
+  explicit ExecutionContext(Backend backend);
+  /// Fully explicit configuration (registry- or factory-created).
+  explicit ExecutionContext(backend::ExecutionConfig config);
   ~ExecutionContext();
   ExecutionContext(const ExecutionContext&) = delete;
   ExecutionContext& operator=(const ExecutionContext&) = delete;
 
   Backend backend() const { return backend_; }
+
+  /// The device backend this context dispatches batched primitives to.
+  backend::DeviceBackend& device() const { return *device_; }
+  const std::shared_ptr<backend::DeviceBackend>& device_ptr() const { return device_; }
 
   /// Total kernel launches recorded since construction / reset, across all
   /// streams. Safe to call concurrently with launch recording.
@@ -109,17 +128,22 @@ class ExecutionContext {
     if (batch <= 0) return;
     if (backend_ == Backend::Naive) {
       count_stream_launch(stream, batch);
+      backend::KernelScope ks(device_.get());
       serial_for(batch, f);
       return;
     }
     count_stream_launch(stream, 1);
     if (runtime_mode() == RuntimeMode::FlatOpenMP) {
-      // Baseline mode: the pre-stream fork/join launch, synchronous.
+      // Baseline mode: the pre-stream fork/join launch, synchronous. The
+      // calling thread holds the kernel scope; the process-wide unlock
+      // covers the forked workers.
+      backend::KernelScope ks(device_.get());
       h2sketch::parallel_for(batch, f);
       return;
     }
     if (ThreadPool::global().width() <= 1 && stream_idle(stream)) {
       // Single lane and nothing queued ahead: run in place, zero overhead.
+      backend::KernelScope ks(device_.get());
       serial_for(batch, f);
       return;
     }
@@ -208,6 +232,7 @@ class ExecutionContext {
     return chunks;
   }
 
+  std::shared_ptr<backend::DeviceBackend> device_;
   Backend backend_;
   std::atomic<index_t> launches_{0};
   std::array<Stream, static_cast<size_t>(kNumStreams)> streams_;

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "backend/device_backend.hpp"
 #include "common/check.hpp"
+#include "common/matrix.hpp"
 #include "common/types.hpp"
 
 /// \file workspace.hpp
@@ -14,20 +17,39 @@
 /// allocation per operation. Workspace mirrors that: reserve once, hand out
 /// aligned sub-ranges, reset between levels. Counters let benchmarks report
 /// allocation traffic for the naive-vs-batched comparison.
+///
+/// The arena's backing store is **backend-allocated**: a Workspace created
+/// with a DeviceBackend hands out *device* addresses (one DeviceBuffer per
+/// backing allocation), so batch temporaries suballocated here live in
+/// device memory and obey the backend's poisoning discipline. A
+/// default-constructed Workspace falls back to a host vector (standalone
+/// uses and tests).
 
 namespace h2sketch {
 
 class Workspace {
  public:
   Workspace() = default;
+  explicit Workspace(std::shared_ptr<backend::DeviceBackend> b) : backend_(std::move(b)) {}
+
+  backend::DeviceBackend* device() const { return backend_.get(); }
 
   /// Ensure capacity of at least `bytes`; counts one backing allocation if
-  /// the arena grows. Invalidates previously returned pointers.
+  /// the arena grows (live contents are preserved). Invalidates previously
+  /// returned pointers.
   void reserve_bytes(std::size_t bytes) {
-    if (bytes > buffer_.size()) {
-      buffer_.resize(bytes);
-      ++backing_allocs_;
+    if (bytes <= capacity_bytes()) return;
+    if (backend_) {
+      backend::DeviceBuffer grown = backend_->allocate(bytes);
+      // Growth with live suballocations only happens via an explicit
+      // reserve; the common reset-then-reserve cycle skips the copy.
+      if (!dev_buf_.empty() && used_bytes() != 0)
+        backend_->copy_on_device(grown.data(), dev_buf_.data(), dev_buf_.bytes());
+      dev_buf_ = std::move(grown);
+    } else {
+      host_buf_.resize(bytes);
     }
+    ++backing_allocs_;
   }
 
   /// Allocate `count` elements of T (64-byte aligned). Grows if needed.
@@ -35,23 +57,41 @@ class Workspace {
   T* allocate(index_t count) {
     const std::size_t bytes = static_cast<std::size_t>(count) * sizeof(T);
     std::size_t aligned_off = aligned_offset();
-    if (aligned_off + bytes > buffer_.size()) {
+    if (aligned_off + bytes > capacity_bytes()) {
       // Growing invalidates earlier pointers; callers reserve up front via
       // prefix sums, so this path only triggers on first use per level.
       H2S_CHECK(offset_ == 0, "Workspace grew after suballocation; reserve up front");
       reserve_bytes(aligned_off + bytes + 64); // slack for the alignment shift
       aligned_off = aligned_offset();          // the base may have moved
     }
-    T* p = reinterpret_cast<T*>(buffer_.data() + aligned_off);
+    T* p = reinterpret_cast<T*>(base() + aligned_off);
     offset_ = aligned_off + bytes;
     ++suballocs_;
     return p;
   }
 
+  /// Arena bytes one m x n panel consumes, including the 64-byte
+  /// suballocation grain — the term callers sum when pre-reserving via a
+  /// prefix sum.
+  static std::size_t panel_bytes(index_t m, index_t n) {
+    const auto b = static_cast<std::size_t>(m) * static_cast<std::size_t>(n) * sizeof(real_t);
+    return (b + 63) & ~std::size_t{63};
+  }
+
+  /// Carve an m x n column-major panel (ld == max(m, 1)) from the arena.
+  MatrixView panel(index_t m, index_t n) {
+    return MatrixView(allocate<real_t>(m * n), m, n, std::max<index_t>(m, index_t{1}));
+  }
+
+  /// Base address of the arena's backing store; with used_bytes() it
+  /// delimits the currently carved region (e.g. for one bulk zero fill
+  /// instead of per-panel fills). Valid until the next growth.
+  void* arena_data() { return base(); }
+
   /// Recycle the arena for the next level (capacity retained).
   void reset() { offset_ = 0; }
 
-  std::size_t capacity_bytes() const { return buffer_.size(); }
+  std::size_t capacity_bytes() const { return backend_ ? dev_buf_.bytes() : host_buf_.size(); }
   std::size_t used_bytes() const { return offset_; }
   /// Number of times the backing buffer had to be (re)allocated.
   index_t backing_allocations() const { return backing_allocs_; }
@@ -59,14 +99,20 @@ class Workspace {
   index_t suballocations() const { return suballocs_; }
 
  private:
-  /// Offset of the next 64-byte-aligned *address* within the buffer.
-  std::size_t aligned_offset() const {
-    const auto base = reinterpret_cast<std::uintptr_t>(buffer_.data());
-    const std::uintptr_t next = (base + offset_ + 63) & ~std::uintptr_t{63};
-    return static_cast<std::size_t>(next - base);
+  std::byte* base() const {
+    return backend_ ? static_cast<std::byte*>(dev_buf_.data()) : const_cast<std::byte*>(host_buf_.data());
   }
 
-  std::vector<std::byte> buffer_;
+  /// Offset of the next 64-byte-aligned *address* within the buffer.
+  std::size_t aligned_offset() const {
+    const auto b = reinterpret_cast<std::uintptr_t>(base());
+    const std::uintptr_t next = (b + offset_ + 63) & ~std::uintptr_t{63};
+    return static_cast<std::size_t>(next - b);
+  }
+
+  std::shared_ptr<backend::DeviceBackend> backend_;
+  backend::DeviceBuffer dev_buf_; ///< backing store when backend-allocated
+  std::vector<std::byte> host_buf_;
   std::size_t offset_ = 0;
   index_t backing_allocs_ = 0;
   index_t suballocs_ = 0;

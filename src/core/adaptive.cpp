@@ -29,22 +29,32 @@ void H2SketchBuilder::sample_columns(index_t d_new) {
   if (d_total_ > 0) ctx_.sync_all();
   const index_t n = tree_->num_points();
   const index_t c0 = d_total_;
-  append_cols(omega_global_, d_new);
-  append_cols(y_global_, d_new);
+  backend::DeviceBackend& dev = ctx_.device();
   if (omega_global_.rows() == 0) {
-    omega_global_.resize(n, c0 + d_new);
-    y_global_.resize(n, c0 + d_new);
+    omega_global_.resize(dev, n, c0 + d_new);
+    y_global_.resize(dev, n, c0 + d_new);
+  } else {
+    omega_global_.append_cols(dev, d_new);
+    y_global_.append_cols(dev, d_new);
   }
   MatrixView new_omega = omega_global_.view().col_range(c0, d_new);
   batched::batched_fill_gaussian(ctx_, new_omega, stream_, rand_offset_);
   rand_offset_ += static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(d_new);
   MatrixView new_y = y_global_.view().col_range(c0, d_new);
-  sampler_.sample(new_omega, new_y);
+  {
+    // The monolithic Kblk product is itself a kernel launch over the
+    // device-resident (Omega, Y) pair; the scope keeps the device heap
+    // accessible for whatever engine the sampler runs.
+    backend::KernelScope ks(&dev);
+    sampler_.sample(new_omega, new_y);
+  }
   d_total_ += d_new;
   ++stats_.sample_rounds;
 
   if (stats_.sample_rounds == 1) {
-    // Norm estimate for the absolute threshold eps_abs = tol * ||K||.
+    // Norm estimate for the absolute threshold eps_abs = tol * ||K||: a
+    // reduction kernel over the device-resident samples.
+    backend::KernelScope ks(&dev);
     stats_.norm_estimate = opts_.norm_est == NormEstimate::Given
                                ? opts_.given_norm
                                : la::norm_f(new_y) / std::sqrt(static_cast<real_t>(d_new));
@@ -74,9 +84,11 @@ void H2SketchBuilder::extend_yloc(index_t level, index_t c0, index_t dn) {
     if (yl.empty()) {
       H2S_ASSERT(c0 == 0, "first Y_loc build must start at column 0");
       yl.resize(static_cast<size_t>(nodes));
-      for (index_t i = 0; i < nodes; ++i) yl[static_cast<size_t>(i)].resize(yloc_rows(i), dn);
+      for (index_t i = 0; i < nodes; ++i)
+        yl[static_cast<size_t>(i)].resize(ctx_.device(), yloc_rows(i), dn);
     } else {
-      for (index_t i = 0; i < nodes; ++i) append_cols(yl[static_cast<size_t>(i)], dn);
+      for (index_t i = 0; i < nodes; ++i)
+        yl[static_cast<size_t>(i)].append_cols(ctx_.device(), dn);
     }
   }
 
@@ -85,9 +97,9 @@ void H2SketchBuilder::extend_yloc(index_t level, index_t c0, index_t dn) {
     {
       PhaseScope scope(stats_.phases, Phase::Misc);
       for (index_t i = 0; i < nodes; ++i)
-        copy(y_global_.view()
-                 .block(tree_->begin(level, i), c0, tree_->size(level, i), dn),
-             yl[static_cast<size_t>(i)].view().col_range(c0, dn));
+        ctx_.device().copy_device(
+            y_global_.view().block(tree_->begin(level, i), c0, tree_->size(level, i), dn),
+            yl[static_cast<size_t>(i)].view().col_range(c0, dn));
     }
     PhaseScope scope(stats_.phases, Phase::BsrGemm);
     const auto& near = out_.mtree.near_leaf;
@@ -122,11 +134,12 @@ void H2SketchBuilder::extend_yloc(index_t level, index_t c0, index_t dn) {
       const index_t r2 = out_.ranks[uc][static_cast<size_t>(2 * i + 1)];
       MatrixView dst = yl[static_cast<size_t>(i)].view();
       if (r1 > 0)
-        copy(y_up_[uc][static_cast<size_t>(2 * i)].view().col_range(c0, dn),
-             dst.block(0, c0, r1, dn));
+        ctx_.device().copy_device(y_up_[uc][static_cast<size_t>(2 * i)].view().col_range(c0, dn),
+                                  dst.block(0, c0, r1, dn));
       if (r2 > 0)
-        copy(y_up_[uc][static_cast<size_t>(2 * i + 1)].view().col_range(c0, dn),
-             dst.block(r1, c0, r2, dn));
+        ctx_.device().copy_device(
+            y_up_[uc][static_cast<size_t>(2 * i + 1)].view().col_range(c0, dn),
+            dst.block(r1, c0, r2, dn));
     }
   }
   PhaseScope scope(stats_.phases, Phase::BsrGemm);
@@ -158,8 +171,8 @@ void H2SketchBuilder::extend_upswept(index_t level, index_t c0, index_t dn) {
   const auto ul = static_cast<size_t>(level);
 
   for (index_t i = 0; i < nodes; ++i) {
-    append_cols(y_up_[ul][static_cast<size_t>(i)], dn);
-    append_cols(omega_up_[ul][static_cast<size_t>(i)], dn);
+    y_up_[ul][static_cast<size_t>(i)].append_cols(ctx_.device(), dn);
+    omega_up_[ul][static_cast<size_t>(i)].append_cols(ctx_.device(), dn);
   }
 
   // y_up(:, new) = Y_loc(J, new) — batchedShrink on the new columns, on the

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "backend/device_matrix.hpp"
 #include "common/random.hpp"
 #include "core/construction.hpp"
 
@@ -54,18 +55,20 @@ class H2SketchBuilder {
   h2::H2Matrix out_;
   ConstructionStats stats_;
 
-  // --- sketching state ---
+  // --- sketching state (device-resident: the paper keeps the sample
+  // matrices on the GPU for the whole construction; host code reaches them
+  // only through backend copies or inside kernel launches) ---
   GaussianStream stream_;
   std::uint64_t rand_offset_ = 0;
-  Matrix omega_global_; ///< N x d_total
-  Matrix y_global_;     ///< N x d_total
+  backend::DeviceMatrix omega_global_; ///< N x d_total
+  backend::DeviceMatrix y_global_;     ///< N x d_total
   index_t d_total_ = 0;
 
   /// Y_loc per level (allocated when the level is reached, retained so new
   /// sample columns can be appended at every level).
-  std::vector<std::vector<Matrix>> yloc_;
+  std::vector<std::vector<backend::DeviceMatrix>> yloc_;
   /// Upswept samples/vectors per skeletonized level: rank x d_total.
-  std::vector<std::vector<Matrix>> y_up_, omega_up_;
+  std::vector<std::vector<backend::DeviceMatrix>> y_up_, omega_up_;
   /// Skeleton row indices *local to Y_loc's rows*, per node.
   std::vector<std::vector<std::vector<index_t>>> jlocal_;
   /// Permuted position lists of each leaf cluster (iota over its range).
@@ -73,8 +76,5 @@ class H2SketchBuilder {
 
   friend class BuilderTestPeer;
 };
-
-/// Append `extra` zero columns to m, preserving contents.
-void append_cols(Matrix& m, index_t extra);
 
 } // namespace h2sketch::core::detail

@@ -11,12 +11,6 @@ namespace h2sketch::core {
 
 namespace detail {
 
-void append_cols(Matrix& m, index_t extra) {
-  Matrix bigger(m.rows(), m.cols() + extra);
-  if (!m.empty()) copy(m.view(), bigger.view().col_range(0, m.cols()));
-  m = std::move(bigger);
-}
-
 H2SketchBuilder::H2SketchBuilder(std::shared_ptr<const tree::ClusterTree> tree,
                                  const tree::Admissibility& adm, kern::MatVecSampler& sampler,
                                  const kern::EntryGenerator& gen, const ConstructionOptions& opts,
@@ -167,7 +161,7 @@ void H2SketchBuilder::skeletonize_level(index_t level) {
     std::vector<MatrixView> dst;
     for (index_t i = 0; i < nodes; ++i) {
       const auto ui = static_cast<size_t>(i);
-      yup[ui].resize(out_.ranks[ul][ui], d_total_);
+      yup[ui].resize(ctx_.device(), out_.ranks[ul][ui], d_total_);
       src.push_back(yloc_[ul][ui].view());
       dst.push_back(yup[ui].view());
     }
@@ -177,7 +171,8 @@ void H2SketchBuilder::skeletonize_level(index_t level) {
     auto& oup = omega_up_[ul];
     oup.resize(static_cast<size_t>(nodes));
     for (index_t i = 0; i < nodes; ++i)
-      oup[static_cast<size_t>(i)].resize(out_.ranks[ul][static_cast<size_t>(i)], d_total_);
+      oup[static_cast<size_t>(i)].resize(ctx_.device(), out_.ranks[ul][static_cast<size_t>(i)],
+                                         d_total_);
     if (level == leaf) {
       // omega_up = U^T Omega(I_tau, :).
       std::vector<ConstMatrixView> av, bv;

@@ -29,27 +29,52 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
   const index_t levels = t.num_levels();
   const index_t leaf = t.leaf_level();
 
-  set_all(y, 0.0);
+  backend::DeviceBackend& dev = ctx.device();
 
-  // Per-level coefficient blocks xhat/yhat (rank x d per node). Locals
-  // referenced by the asynchronous launches below: the final sync_all keeps
-  // them alive past the last launch.
-  std::vector<std::vector<Matrix>> xhat(static_cast<size_t>(levels)),
+  // Marshal into device memory: the input/output panels and every per-level
+  // coefficient block come from one arena reservation (one backing
+  // allocation per matvec, the paper's prefix-sum pattern), sized up front.
+  Workspace& ws = ctx.workspace();
+  ws.reset();
+  {
+    std::size_t total = 2 * Workspace::panel_bytes(n, d) + 64;
+    for (index_t l = 0; l < levels; ++l)
+      for (index_t i = 0; i < t.nodes_at(l); ++i)
+        total += 2 * Workspace::panel_bytes(a.rank(l, i), d);
+    ws.reserve_bytes(total);
+  }
+
+  // x is uploaded across the boundary once; y accumulates device-side in yd
+  // and is downloaded after the final barrier.
+  MatrixView xd = ws.panel(n, d);
+  MatrixView yd = ws.panel(n, d);
+
+  // Per-level coefficient blocks xhat/yhat (rank x d per node); they (and
+  // yd) must start zeroed — the beta = 0 "skip" entries of the rank-0
+  // launches rely on it.
+  std::vector<std::vector<MatrixView>> xhat(static_cast<size_t>(levels)),
       yhat(static_cast<size_t>(levels));
   for (index_t l = 0; l < levels; ++l) {
     const index_t nodes = t.nodes_at(l);
     xhat[static_cast<size_t>(l)].resize(static_cast<size_t>(nodes));
     yhat[static_cast<size_t>(l)].resize(static_cast<size_t>(nodes));
     for (index_t i = 0; i < nodes; ++i) {
-      xhat[static_cast<size_t>(l)][static_cast<size_t>(i)].resize(a.rank(l, i), d);
-      yhat[static_cast<size_t>(l)][static_cast<size_t>(i)].resize(a.rank(l, i), d);
+      xhat[static_cast<size_t>(l)][static_cast<size_t>(i)] = ws.panel(a.rank(l, i), d);
+      yhat[static_cast<size_t>(l)][static_cast<size_t>(i)] = ws.panel(a.rank(l, i), d);
     }
   }
+  // One bulk zero fill from yd through the last coefficient panel (one
+  // kernel scope and one memset instead of two per node); xd sits before
+  // the span and is filled by the upload instead.
+  const auto skip = static_cast<std::size_t>(reinterpret_cast<std::byte*>(yd.data) -
+                                             static_cast<std::byte*>(ws.arena_data()));
+  dev.fill_zero(yd.data, ws.used_bytes() - skip);
+  dev.upload(x, xd);
 
-  // Dense near field: y(I_tau, :) += D_{tau,b} x(I_b, :). Issued first, on
-  // its own stream: it reads only x and writes only y, so it overlaps the
+  // Dense near field: yd(I_tau, :) += D_{tau,b} xd(I_b, :). Issued first, on
+  // its own stream: it reads only xd and writes only yd, so it overlaps the
   // entire low-rank pipeline and is joined right before the leaf expansion
-  // (the only other writer of y).
+  // (the only other writer of yd).
   {
     const auto& near = a.mtree.near_leaf;
     if (!near.empty()) {
@@ -57,8 +82,8 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
       std::vector<MatrixView> yv;
       for (const auto& dmat : a.dense) blocks.push_back(dmat.view());
       for (index_t i = 0; i < t.nodes_at(leaf); ++i) {
-        xv.push_back(x.row_range(t.begin(leaf, i), t.size(leaf, i)));
-        yv.push_back(y.row_range(t.begin(leaf, i), t.size(leaf, i)));
+        xv.push_back(xd.row_range(t.begin(leaf, i), t.size(leaf, i)));
+        yv.push_back(yd.row_range(t.begin(leaf, i), t.size(leaf, i)));
       }
       batched::bsr_gemm(ctx, kNearField, 1.0, {near.row_ptr.begin(), near.row_ptr.end()},
                         {near.col.begin(), near.col.end()}, std::move(blocks), std::move(xv),
@@ -66,7 +91,7 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
     }
   }
 
-  // Upward pass, leaf: xhat = U^T x(I_tau, :).
+  // Upward pass, leaf: xhat = U^T xd(I_tau, :).
   {
     const auto& ub = a.basis[static_cast<size_t>(leaf)];
     std::vector<ConstMatrixView> av, bv;
@@ -79,8 +104,8 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
         continue;
       }
       av.push_back(ub[static_cast<size_t>(i)].view());
-      bv.push_back(x.row_range(t.begin(leaf, i), t.size(leaf, i)));
-      cv.push_back(xhat[static_cast<size_t>(leaf)][static_cast<size_t>(i)].view());
+      bv.push_back(xd.row_range(t.begin(leaf, i), t.size(leaf, i)));
+      cv.push_back(xhat[static_cast<size_t>(leaf)][static_cast<size_t>(i)]);
     }
     batched::batched_gemm(ctx, kLowRank, 1.0, std::move(av), la::Op::Trans, std::move(bv),
                           la::Op::None, 0.0, std::move(cv));
@@ -108,8 +133,8 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
           continue;
         }
         av.push_back(tr.view().block(row0, 0, r_side, r_tau));
-        bv.push_back(xhat[static_cast<size_t>(l + 1)][static_cast<size_t>(2 * i + side)].view());
-        cv.push_back(xhat[static_cast<size_t>(l)][static_cast<size_t>(i)].view());
+        bv.push_back(xhat[static_cast<size_t>(l + 1)][static_cast<size_t>(2 * i + side)]);
+        cv.push_back(xhat[static_cast<size_t>(l)][static_cast<size_t>(i)]);
       }
       batched::batched_gemm(ctx, kLowRank, 1.0, std::move(av), la::Op::Trans, std::move(bv),
                             la::Op::None, side == 0 ? 0.0 : 1.0, std::move(cv));
@@ -128,8 +153,8 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
     std::vector<MatrixView> yv;
     for (const auto& b : a.coupling[static_cast<size_t>(l)]) blocks.push_back(b.view());
     for (index_t i = 0; i < t.nodes_at(l); ++i) {
-      xv.push_back(xhat[static_cast<size_t>(l)][static_cast<size_t>(i)].view());
-      yv.push_back(yhat[static_cast<size_t>(l)][static_cast<size_t>(i)].view());
+      xv.push_back(xhat[static_cast<size_t>(l)][static_cast<size_t>(i)]);
+      yv.push_back(yhat[static_cast<size_t>(l)][static_cast<size_t>(i)]);
     }
     const StreamId s = (l % 2 == 0) ? kLowRank : kCouplingSpill[(spill++) % 2];
     batched::bsr_gemm(ctx, s, 1.0, {far.row_ptr.begin(), far.row_ptr.end()},
@@ -159,16 +184,16 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
           continue;
         }
         av.push_back(tr.view().block(row0, 0, r_side, r_tau));
-        bv.push_back(yhat[static_cast<size_t>(l)][static_cast<size_t>(i)].view());
-        cv.push_back(yhat[static_cast<size_t>(l + 1)][static_cast<size_t>(2 * i + side)].view());
+        bv.push_back(yhat[static_cast<size_t>(l)][static_cast<size_t>(i)]);
+        cv.push_back(yhat[static_cast<size_t>(l + 1)][static_cast<size_t>(2 * i + side)]);
       }
       batched::batched_gemm(ctx, kLowRank, 1.0, std::move(av), la::Op::None, std::move(bv),
                             la::Op::None, 1.0, std::move(cv));
     }
   }
 
-  // Leaf expansion: y(I_tau, :) += U yhat_leaf. Writes y, so the concurrent
-  // near-field accumulation must finish first.
+  // Leaf expansion: yd(I_tau, :) += U yhat_leaf. Writes yd, so the
+  // concurrent near-field accumulation must finish first.
   ctx.sync(kNearField);
   {
     const auto& ub = a.basis[static_cast<size_t>(leaf)];
@@ -182,19 +207,21 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
         continue;
       }
       av.push_back(ub[static_cast<size_t>(i)].view());
-      bv.push_back(yhat[static_cast<size_t>(leaf)][static_cast<size_t>(i)].view());
-      cv.push_back(y.row_range(t.begin(leaf, i), t.size(leaf, i)));
+      bv.push_back(yhat[static_cast<size_t>(leaf)][static_cast<size_t>(i)]);
+      cv.push_back(yd.row_range(t.begin(leaf, i), t.size(leaf, i)));
     }
     batched::batched_gemm(ctx, kLowRank, 1.0, std::move(av), la::Op::None, std::move(bv),
                           la::Op::None, 1.0, std::move(cv));
   }
 
-  // xhat/yhat and the caller's x/y views must outlive every launch.
+  // The arena panels must outlive every launch; then the result crosses
+  // back over the marshaling boundary.
   ctx.sync_all();
+  dev.download(yd, y);
 }
 
 void h2_matvec(const H2Matrix& a, ConstMatrixView x, MatrixView y) {
-  batched::ExecutionContext ctx(batched::Backend::Batched);
+  batched::ExecutionContext ctx;
   h2_matvec(ctx, a, x, y);
 }
 

@@ -1,25 +1,12 @@
 #include "kernels/entry_gen.hpp"
 
-#include <memory>
+#include "batched/device.hpp"
 
 namespace h2sketch::kern {
 
 void batched_generate(batched::ExecutionContext& ctx, batched::StreamId stream,
                       const EntryGenerator& gen, std::vector<BlockRequest> requests) {
-  auto st = std::make_shared<std::vector<BlockRequest>>(std::move(requests));
-  const auto batch = static_cast<index_t>(st->size());
-  // Cost = entries evaluated; kernel evaluations dominate this launch.
-  ctx.run_batch(
-      stream, batch,
-      [&reqs = *st](index_t i) {
-        const auto& r = reqs[static_cast<size_t>(i)];
-        return r.out.rows * r.out.cols;
-      },
-      [st, &gen](index_t i) {
-        const auto& r = (*st)[static_cast<size_t>(i)];
-        if (r.out.empty()) return;
-        gen.generate_block(r.rows, r.cols, r.out);
-      });
+  ctx.device().generate(ctx, stream, gen, std::move(requests));
 }
 
 void batched_generate(batched::ExecutionContext& ctx, const EntryGenerator& gen,

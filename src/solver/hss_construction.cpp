@@ -4,6 +4,7 @@
 #include <numeric>
 #include <utility>
 
+#include "backend/device_matrix.hpp"
 #include "batched/batched_gemm.hpp"
 #include "batched/batched_id.hpp"
 #include "batched/batched_qr.hpp"
@@ -17,12 +18,6 @@ namespace {
 
 using core::ConstructionOptions;
 using core::ConstructionStats;
-
-void append_cols(Matrix& m, index_t extra) {
-  Matrix bigger(m.rows(), m.cols() + extra);
-  if (!m.empty()) copy(m.view(), bigger.view().col_range(0, m.cols()));
-  m = std::move(bigger);
-}
 
 /// Internal state machine mirroring core::detail::H2SketchBuilder, with the
 /// weak-admissibility structure hard-wired and HssMatrix as the output.
@@ -111,21 +106,28 @@ class HssBuilder {
     if (d_total_ > 0) ctx_.sync_all();
     const index_t n = tree_->num_points();
     const index_t c0 = d_total_;
-    append_cols(omega_global_, d_new);
-    append_cols(y_global_, d_new);
+    backend::DeviceBackend& dev = ctx_.device();
     if (omega_global_.rows() == 0) {
-      omega_global_.resize(n, c0 + d_new);
-      y_global_.resize(n, c0 + d_new);
+      omega_global_.resize(dev, n, c0 + d_new);
+      y_global_.resize(dev, n, c0 + d_new);
+    } else {
+      omega_global_.append_cols(dev, d_new);
+      y_global_.append_cols(dev, d_new);
     }
     MatrixView new_omega = omega_global_.view().col_range(c0, d_new);
     batched::batched_fill_gaussian(ctx_, new_omega, stream_, rand_offset_);
     rand_offset_ += static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(d_new);
     MatrixView new_y = y_global_.view().col_range(c0, d_new);
-    sampler_.sample(new_omega, new_y);
+    {
+      // Monolithic Kblk product over the device-resident (Omega, Y) pair.
+      backend::KernelScope ks(&dev);
+      sampler_.sample(new_omega, new_y);
+    }
     d_total_ += d_new;
     ++stats_.sample_rounds;
 
     if (stats_.sample_rounds == 1) {
+      backend::KernelScope ks(&dev);
       stats_.norm_estimate = opts_.norm_est == core::NormEstimate::Given
                                  ? opts_.given_norm
                                  : la::norm_f(new_y) / std::sqrt(static_cast<real_t>(d_new));
@@ -155,9 +157,11 @@ class HssBuilder {
       if (yl.empty()) {
         H2S_ASSERT(c0 == 0, "first Y_loc build must start at column 0");
         yl.resize(static_cast<size_t>(nodes));
-        for (index_t i = 0; i < nodes; ++i) yl[static_cast<size_t>(i)].resize(yloc_rows(i), dn);
+        for (index_t i = 0; i < nodes; ++i)
+          yl[static_cast<size_t>(i)].resize(ctx_.device(), yloc_rows(i), dn);
       } else {
-        for (index_t i = 0; i < nodes; ++i) append_cols(yl[static_cast<size_t>(i)], dn);
+        for (index_t i = 0; i < nodes; ++i)
+          yl[static_cast<size_t>(i)].append_cols(ctx_.device(), dn);
       }
     }
 
@@ -167,8 +171,9 @@ class HssBuilder {
       {
         PhaseScope scope(stats_.phases, Phase::Misc);
         for (index_t i = 0; i < nodes; ++i)
-          copy(y_global_.view().block(tree_->begin(level, i), c0, tree_->size(level, i), dn),
-               yl[static_cast<size_t>(i)].view().col_range(c0, dn));
+          ctx_.device().copy_device(
+              y_global_.view().block(tree_->begin(level, i), c0, tree_->size(level, i), dn),
+              yl[static_cast<size_t>(i)].view().col_range(c0, dn));
       }
       PhaseScope scope(stats_.phases, Phase::BsrGemm);
       std::vector<ConstMatrixView> av, bv;
@@ -197,11 +202,13 @@ class HssBuilder {
         const index_t r2 = out_.ranks[uc][static_cast<size_t>(2 * i + 1)];
         MatrixView dst = yl[static_cast<size_t>(i)].view();
         if (r1 > 0)
-          copy(y_up_[uc][static_cast<size_t>(2 * i)].view().col_range(c0, dn),
-               dst.block(0, c0, r1, dn));
+          ctx_.device().copy_device(
+              y_up_[uc][static_cast<size_t>(2 * i)].view().col_range(c0, dn),
+              dst.block(0, c0, r1, dn));
         if (r2 > 0)
-          copy(y_up_[uc][static_cast<size_t>(2 * i + 1)].view().col_range(c0, dn),
-               dst.block(r1, c0, r2, dn));
+          ctx_.device().copy_device(
+              y_up_[uc][static_cast<size_t>(2 * i + 1)].view().col_range(c0, dn),
+              dst.block(r1, c0, r2, dn));
       }
     }
     PhaseScope scope(stats_.phases, Phase::BsrGemm);
@@ -291,7 +298,7 @@ class HssBuilder {
       std::vector<MatrixView> dst;
       for (index_t i = 0; i < nodes; ++i) {
         const auto ui = static_cast<size_t>(i);
-        yup[ui].resize(out_.ranks[ul][ui], d_total_);
+        yup[ui].resize(ctx_.device(), out_.ranks[ul][ui], d_total_);
         src.push_back(yloc_[ul][ui].view());
         dst.push_back(yup[ui].view());
       }
@@ -302,7 +309,8 @@ class HssBuilder {
     auto& oup = omega_up_[ul];
     oup.resize(static_cast<size_t>(nodes));
     for (index_t i = 0; i < nodes; ++i)
-      oup[static_cast<size_t>(i)].resize(out_.ranks[ul][static_cast<size_t>(i)], d_total_);
+      oup[static_cast<size_t>(i)].resize(ctx_.device(), out_.ranks[ul][static_cast<size_t>(i)],
+                                         d_total_);
     upsweep_omega(level, 0, d_total_);
   }
 
@@ -358,8 +366,8 @@ class HssBuilder {
     const index_t nodes = tree_->nodes_at(level);
     const auto ul = static_cast<size_t>(level);
     for (index_t i = 0; i < nodes; ++i) {
-      append_cols(y_up_[ul][static_cast<size_t>(i)], dn);
-      append_cols(omega_up_[ul][static_cast<size_t>(i)], dn);
+      y_up_[ul][static_cast<size_t>(i)].append_cols(ctx_.device(), dn);
+      omega_up_[ul][static_cast<size_t>(i)].append_cols(ctx_.device(), dn);
     }
     {
       std::vector<ConstMatrixView> src;
@@ -450,12 +458,12 @@ class HssBuilder {
 
   GaussianStream stream_;
   std::uint64_t rand_offset_ = 0;
-  Matrix omega_global_; ///< N x d_total
-  Matrix y_global_;     ///< N x d_total
+  backend::DeviceMatrix omega_global_; ///< N x d_total, device-resident
+  backend::DeviceMatrix y_global_;     ///< N x d_total, device-resident
   index_t d_total_ = 0;
 
-  std::vector<std::vector<Matrix>> yloc_;
-  std::vector<std::vector<Matrix>> y_up_, omega_up_;
+  std::vector<std::vector<backend::DeviceMatrix>> yloc_;
+  std::vector<std::vector<backend::DeviceMatrix>> y_up_, omega_up_;
   std::vector<std::vector<std::vector<index_t>>> jlocal_;
   std::vector<std::vector<index_t>> leaf_positions_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "batched/batched_gemm.hpp"
 #include "la/blas.hpp"
 
 namespace h2sketch::solver {
@@ -97,6 +98,199 @@ Matrix HssMatrix::densify() const {
     }
   }
   return a;
+}
+
+void HssMatrix::matvec(batched::ExecutionContext& ctx, ConstMatrixView x, MatrixView y) const {
+  const index_t n = size();
+  const index_t d = x.cols;
+  H2S_CHECK(x.rows == n && y.rows == n && y.cols == d, "HssMatrix::matvec: shape mismatch");
+  const tree::ClusterTree& t = *tree;
+  const index_t levels = num_levels();
+  const index_t leaf = leaf_level();
+  const auto stream = batched::kSampleStream;
+  const auto diag_stream = batched::kBasisStream;
+
+  backend::DeviceBackend& dev = ctx.device();
+
+  // One arena reservation per matvec for the marshaled input/output panels
+  // and the per-node coefficient blocks (the prefix-sum single-allocation
+  // pattern; see h2_matvec).
+  Workspace& ws = ctx.workspace();
+  ws.reset();
+  {
+    std::size_t total = 2 * Workspace::panel_bytes(n, d) + 64;
+    for (index_t l = 1; l < levels; ++l)
+      for (index_t i = 0; i < t.nodes_at(l); ++i)
+        total += 2 * Workspace::panel_bytes(rank(l, i), d);
+    ws.reserve_bytes(total);
+  }
+
+  MatrixView xd = ws.panel(n, d);
+  MatrixView yd = ws.panel(n, d);
+
+  std::vector<std::vector<MatrixView>> xhat(static_cast<size_t>(levels)),
+      yhat(static_cast<size_t>(levels));
+  for (index_t l = 1; l < levels; ++l) {
+    const index_t nodes = t.nodes_at(l);
+    xhat[static_cast<size_t>(l)].resize(static_cast<size_t>(nodes));
+    yhat[static_cast<size_t>(l)].resize(static_cast<size_t>(nodes));
+    for (index_t i = 0; i < nodes; ++i) {
+      xhat[static_cast<size_t>(l)][static_cast<size_t>(i)] = ws.panel(rank(l, i), d);
+      yhat[static_cast<size_t>(l)][static_cast<size_t>(i)] = ws.panel(rank(l, i), d);
+    }
+  }
+  // One bulk zero fill from yd through the last coefficient panel (yd and
+  // the panels must start zeroed); xd sits before the span and is filled
+  // by the upload instead.
+  const auto skip = static_cast<std::size_t>(reinterpret_cast<std::byte*>(yd.data) -
+                                             static_cast<std::byte*>(ws.arena_data()));
+  dev.fill_zero(yd.data, ws.used_bytes() - skip);
+  dev.upload(x, xd);
+
+  // Leaf diagonal phase yd(I_tau) += D_tau xd(I_tau): one launch on its own
+  // stream, overlapping the whole low-rank chain; joined before the leaf
+  // expansion (the only other writer of yd).
+  {
+    std::vector<ConstMatrixView> av, bv;
+    std::vector<MatrixView> cv;
+    for (index_t i = 0; i < t.nodes_at(leaf); ++i) {
+      av.push_back(leaf_diag[static_cast<size_t>(i)].view());
+      bv.push_back(xd.row_range(t.begin(leaf, i), t.size(leaf, i)));
+      cv.push_back(yd.row_range(t.begin(leaf, i), t.size(leaf, i)));
+    }
+    batched::batched_gemm(ctx, diag_stream, 1.0, std::move(av), la::Op::None, std::move(bv),
+                          la::Op::None, 1.0, std::move(cv));
+  }
+
+  if (levels > 1) {
+    // Upward pass, leaf: xhat = U^T xd(I_tau, :).
+    {
+      std::vector<ConstMatrixView> av, bv;
+      std::vector<MatrixView> cv;
+      for (index_t i = 0; i < t.nodes_at(leaf); ++i) {
+        if (rank(leaf, i) == 0) {
+          av.push_back(ConstMatrixView());
+          bv.push_back(ConstMatrixView());
+          cv.push_back(MatrixView());
+          continue;
+        }
+        av.push_back(generators[static_cast<size_t>(leaf)][static_cast<size_t>(i)].view());
+        bv.push_back(xd.row_range(t.begin(leaf, i), t.size(leaf, i)));
+        cv.push_back(xhat[static_cast<size_t>(leaf)][static_cast<size_t>(i)]);
+      }
+      batched::batched_gemm(ctx, stream, 1.0, std::move(av), la::Op::Trans, std::move(bv),
+                            la::Op::None, 0.0, std::move(cv));
+    }
+
+    // Upward pass, inner: xhat_tau = E_1^T xhat_l + E_2^T xhat_r (two
+    // half-launches; FIFO order is the level barrier).
+    for (index_t l = leaf - 1; l >= 1; --l) {
+      for (int side = 0; side < 2; ++side) {
+        std::vector<ConstMatrixView> av, bv;
+        std::vector<MatrixView> cv;
+        for (index_t i = 0; i < t.nodes_at(l); ++i) {
+          const Matrix& e = generators[static_cast<size_t>(l)][static_cast<size_t>(i)];
+          const index_t r_left = rank(l + 1, 2 * i);
+          const index_t r_side = side == 0 ? r_left : rank(l + 1, 2 * i + 1);
+          const index_t row0 = side == 0 ? 0 : r_left;
+          const index_t r_tau = rank(l, i);
+          if (r_tau == 0 || r_side == 0) {
+            av.push_back(ConstMatrixView());
+            bv.push_back(ConstMatrixView());
+            cv.push_back(MatrixView());
+            continue;
+          }
+          av.push_back(e.view().block(row0, 0, r_side, r_tau));
+          bv.push_back(xhat[static_cast<size_t>(l + 1)][static_cast<size_t>(2 * i + side)]);
+          cv.push_back(xhat[static_cast<size_t>(l)][static_cast<size_t>(i)]);
+        }
+        batched::batched_gemm(ctx, stream, 1.0, std::move(av), la::Op::Trans, std::move(bv),
+                              la::Op::None, side == 0 ? 0.0 : 1.0, std::move(cv));
+      }
+    }
+
+    // Coupling phase, one sibling-pair batch per level: yhat_{2p} += B_p
+    // xhat_{2p+1} and yhat_{2p+1} += B_p^T xhat_{2p}, as two half-launches
+    // so each yhat block has a single writer per launch.
+    for (index_t l = 1; l < levels; ++l) {
+      const auto ul = static_cast<size_t>(l);
+      for (int side = 0; side < 2; ++side) {
+        std::vector<ConstMatrixView> av, bv;
+        std::vector<MatrixView> cv;
+        for (index_t p = 0; p < t.nodes_at(l) / 2; ++p) {
+          const Matrix& b = coupling[ul][static_cast<size_t>(p)];
+          if (b.empty()) {
+            av.push_back(ConstMatrixView());
+            bv.push_back(ConstMatrixView());
+            cv.push_back(MatrixView());
+            continue;
+          }
+          av.push_back(b.view());
+          bv.push_back(xhat[ul][static_cast<size_t>(2 * p + (side == 0 ? 1 : 0))]);
+          cv.push_back(yhat[ul][static_cast<size_t>(2 * p + side)]);
+        }
+        batched::batched_gemm(ctx, stream, 1.0, std::move(av),
+                              side == 0 ? la::Op::None : la::Op::Trans, std::move(bv),
+                              la::Op::None, 1.0, std::move(cv));
+      }
+    }
+
+    // Downward pass: children accumulate E_side * yhat_parent.
+    for (index_t l = 1; l < leaf; ++l) {
+      for (int side = 0; side < 2; ++side) {
+        std::vector<ConstMatrixView> av, bv;
+        std::vector<MatrixView> cv;
+        for (index_t i = 0; i < t.nodes_at(l); ++i) {
+          const Matrix& e = generators[static_cast<size_t>(l)][static_cast<size_t>(i)];
+          const index_t r_left = rank(l + 1, 2 * i);
+          const index_t r_side = side == 0 ? r_left : rank(l + 1, 2 * i + 1);
+          const index_t row0 = side == 0 ? 0 : r_left;
+          const index_t r_tau = rank(l, i);
+          if (r_tau == 0 || r_side == 0) {
+            av.push_back(ConstMatrixView());
+            bv.push_back(ConstMatrixView());
+            cv.push_back(MatrixView());
+            continue;
+          }
+          av.push_back(e.view().block(row0, 0, r_side, r_tau));
+          bv.push_back(yhat[static_cast<size_t>(l)][static_cast<size_t>(i)]);
+          cv.push_back(yhat[static_cast<size_t>(l + 1)][static_cast<size_t>(2 * i + side)]);
+        }
+        batched::batched_gemm(ctx, stream, 1.0, std::move(av), la::Op::None, std::move(bv),
+                              la::Op::None, 1.0, std::move(cv));
+      }
+    }
+
+    // Leaf expansion yd(I_tau) += U yhat_leaf: joins the diagonal stream
+    // first (the only concurrent writer of yd).
+    ctx.sync(diag_stream);
+    {
+      std::vector<ConstMatrixView> av, bv;
+      std::vector<MatrixView> cv;
+      for (index_t i = 0; i < t.nodes_at(leaf); ++i) {
+        if (rank(leaf, i) == 0) {
+          av.push_back(ConstMatrixView());
+          bv.push_back(ConstMatrixView());
+          cv.push_back(MatrixView());
+          continue;
+        }
+        av.push_back(generators[static_cast<size_t>(leaf)][static_cast<size_t>(i)].view());
+        bv.push_back(yhat[static_cast<size_t>(leaf)][static_cast<size_t>(i)]);
+        cv.push_back(yd.row_range(t.begin(leaf, i), t.size(leaf, i)));
+      }
+      batched::batched_gemm(ctx, stream, 1.0, std::move(av), la::Op::None, std::move(bv),
+                            la::Op::None, 1.0, std::move(cv));
+    }
+  }
+
+  // Arena panels must outlive every launch; then marshal the result back.
+  ctx.sync_all();
+  dev.download(yd, y);
+}
+
+void HssMatrix::matvec(ConstMatrixView x, MatrixView y) const {
+  batched::ExecutionContext ctx;
+  matvec(ctx, x, y);
 }
 
 void HssMatrix::validate() const {

@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "backend/fwd.hpp"
 #include "common/matrix.hpp"
 #include "tree/cluster_tree.hpp"
 
@@ -68,6 +69,17 @@ class HssMatrix {
 
   /// Exact bytes held in U/E/B/D matrices plus skeleton index lists.
   std::size_t memory_bytes() const;
+
+  /// Fast O(N) matvec through the U/E/B generators: upward pass along the
+  /// transfer tree, one sibling-pair coupling launch per level (B and B^T
+  /// half-launches), downward pass, leaf diagonal. y = A * x with x, y
+  /// (N x d) in permuted position order; all batched products dispatch
+  /// through the context's device backend with device-resident
+  /// coefficient panels, exactly like h2_matvec.
+  void matvec(batched::ExecutionContext& ctx, ConstMatrixView x, MatrixView y) const;
+
+  /// Convenience overload with an internal default-configured context.
+  void matvec(ConstMatrixView x, MatrixView y) const;
 
   /// Expanded (non-nested) basis U_tau for one node: cluster_size x rank.
   Matrix expand_generator(index_t level, index_t node) const;

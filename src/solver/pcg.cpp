@@ -72,8 +72,9 @@ PcgResult pcg(const ApplyFn& apply_a, const_real_span b, real_span x, const PcgO
 PcgResult pcg(const ApplyFn& apply_a, const_real_span b, real_span x, const PcgOptions& opts,
               const UlvCholesky& ulv) {
   // One execution context serves every M^{-1} application of the run
-  // instead of constructing and tearing one down per iteration.
-  batched::ExecutionContext ctx(batched::Backend::Batched);
+  // instead of constructing and tearing one down per iteration; it runs on
+  // the device backend that owns the factor panels.
+  batched::ExecutionContext ctx(ulv.execution_config());
   return pcg(apply_a, b, x, opts, ApplyFn([&ulv, &ctx](const_real_span in, real_span outv) {
                ulv.solve(in, outv, ctx);
              }));

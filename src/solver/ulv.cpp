@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "backend/registry.hpp"
 #include "batched/batched_gemm.hpp"
 #include "batched/batched_solve.hpp"
 #include "la/blas.hpp"
@@ -24,20 +25,27 @@ void apply_q_right(ConstMatrixView qr, const std::vector<real_t>& tau, MatrixVie
 
 /// Merge a sibling pair into the parent-local (or root) diagonal:
 /// dst = [S_1, R_1 B R_2^T; (.)^T, S_2] from the children's Schur
-/// complements, reduced generators and the pair's coupling block.
-void merge_siblings(const UlvNode& c1, const UlvNode& c2, const Matrix& b, MatrixView dst) {
-  const index_t r1 = c1.rank, r2 = c2.rank;
-  copy(c1.dhat.view().block(0, 0, r1, r1), dst.block(0, 0, r1, r1));
-  copy(c2.dhat.view().block(0, 0, r2, r2), dst.block(r1, r1, r2, r2));
+/// complements, reduced generators and the pair's coupling block. Operates
+/// on views so the same routine serves the in-kernel level merge (device
+/// panels) and the host-side root merge (downloaded staging copies).
+void merge_siblings(ConstMatrixView s1, ConstMatrixView u1, index_t r1, ConstMatrixView s2,
+                    ConstMatrixView u2, index_t r2, const Matrix& b, MatrixView dst) {
+  copy(s1, dst.block(0, 0, r1, r1));
+  copy(s2, dst.block(r1, r1, r2, r2));
   if (r1 > 0 && r2 > 0) {
     Matrix rb(r1, r2);
-    la::gemm(1.0, c1.utilde.view(), la::Op::None, b.view(), la::Op::None, 0.0, rb.view());
+    la::gemm(1.0, u1, la::Op::None, b.view(), la::Op::None, 0.0, rb.view());
     MatrixView off = dst.block(0, r1, r1, r2);
-    la::gemm(1.0, rb.view(), la::Op::None, c2.utilde.view(), la::Op::Trans, 0.0, off);
+    la::gemm(1.0, rb.view(), la::Op::None, u2, la::Op::Trans, 0.0, off);
     MatrixView off_t = dst.block(r1, 0, r2, r1);
     for (index_t jj = 0; jj < r2; ++jj)
       for (index_t ii = 0; ii < r1; ++ii) off_t(jj, ii) = off(ii, jj);
   }
+}
+
+void merge_siblings(const UlvNode& c1, const UlvNode& c2, const Matrix& b, MatrixView dst) {
+  merge_siblings(c1.dhat.view().block(0, 0, c1.rank, c1.rank), c1.utilde.view(), c1.rank,
+                 c2.dhat.view().block(0, 0, c2.rank, c2.rank), c2.utilde.view(), c2.rank, b, dst);
 }
 
 /// Assemble the node-local diagonal D and merged generator G for one node,
@@ -79,8 +87,10 @@ void assemble_and_rotate(const HssMatrix& a, const std::vector<std::vector<UlvNo
   la::householder_qr(nd.qr.view(), nd.tau);
   la::apply_q_transpose(nd.qr.view(), nd.tau, nd.dhat.view());
   apply_q_right(nd.qr.view(), nd.tau, nd.dhat.view());
+  MatrixView ut = nd.utilde.view();
+  ConstMatrixView qv = nd.qr.view();
   for (index_t jj = 0; jj < r; ++jj)
-    for (index_t ii = 0; ii <= jj && ii < r; ++ii) nd.utilde(ii, jj) = nd.qr(ii, jj);
+    for (index_t ii = 0; ii <= jj && ii < r; ++ii) ut(ii, jj) = qv(ii, jj);
   (void)n;
 }
 
@@ -109,16 +119,20 @@ UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx) {
     lvl.resize(static_cast<size_t>(nodes));
 
     // Host-side marshaling: sizes depend only on ranks/cluster sizes, so the
-    // panels can be preallocated before any launch of this level runs.
+    // device panels can be preallocated before any launch of this level
+    // runs (the kernels only ever touch them through views).
     for (index_t i = 0; i < nodes; ++i) {
       UlvNode& nd = lvl[static_cast<size_t>(i)];
       nd.rank = a.rank(l, i);
       nd.n_loc = l == leaf ? a.tree->size(l, i)
                            : a.rank(l + 1, 2 * i) + a.rank(l + 1, 2 * i + 1);
       H2S_CHECK(nd.rank <= nd.n_loc, "ulv_factor: rank exceeds local dimension");
-      nd.qr.resize(nd.n_loc, nd.rank);
-      nd.dhat.resize(nd.n_loc, nd.n_loc);
-      nd.utilde.resize(nd.rank, nd.rank);
+      // qr and dhat are fully written by the assemble launch; utilde must
+      // start zeroed (only its upper triangle is written, and merge reads
+      // the full matrix).
+      nd.qr.resize_uninitialized(ctx.device(), nd.n_loc, nd.rank);
+      nd.dhat.resize_uninitialized(ctx.device(), nd.n_loc, nd.n_loc);
+      nd.utilde.resize(ctx.device(), nd.rank, nd.rank);
     }
 
     // Launch 1: assemble + QR + two-sided rotation (compress). Reads the
@@ -161,12 +175,23 @@ UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx) {
                           la::Op::Trans, 1.0, std::move(dss));
   }
 
-  // Root: merge the level-1 Schur complements and factor densely.
+  // Root: marshal the level-1 Schur complements and reduced generators back
+  // to the host (four explicit device → host copies), merge and factor the
+  // reduced root system densely host-side — the classic small-root-on-host
+  // pattern of GPU multilevel factorizations.
   ctx.sync(stream);
   const UlvNode& c1 = f.nodes_[1][0];
   const UlvNode& c2 = f.nodes_[1][1];
+  backend::DeviceBackend& dev = ctx.device();
+  Matrix s1(c1.rank, c1.rank), u1(c1.rank, c1.rank);
+  Matrix s2(c2.rank, c2.rank), u2(c2.rank, c2.rank);
+  dev.download(c1.dhat.view().block(0, 0, c1.rank, c1.rank), s1.view());
+  dev.download(c1.utilde.view(), u1.view());
+  dev.download(c2.dhat.view().block(0, 0, c2.rank, c2.rank), s2.view());
+  dev.download(c2.utilde.view(), u2.view());
   f.root_factor_.resize(c1.rank + c2.rank, c1.rank + c2.rank);
-  merge_siblings(c1, c2, a.coupling[1][0], f.root_factor_.view());
+  merge_siblings(s1.view(), u1.view(), c1.rank, s2.view(), u2.view(), c2.rank, a.coupling[1][0],
+                 f.root_factor_.view());
   la::cholesky(f.root_factor_.view());
   return f;
 }
@@ -176,11 +201,36 @@ UlvCholesky ulv_factor(const HssMatrix& a) {
   return ulv_factor(a, ctx);
 }
 
+namespace {
+
+/// Device backend owning the factor's panels, or null for a root-only
+/// factor (which holds no device memory).
+backend::DeviceBackend* panel_backend(const std::vector<std::vector<UlvNode>>& nodes) {
+  for (const auto& lvl : nodes)
+    for (const UlvNode& nd : lvl)
+      if (nd.dhat.backend() != nullptr) return nd.dhat.backend();
+  return nullptr;
+}
+
+} // namespace
+
+backend::ExecutionConfig UlvCholesky::execution_config() const {
+  if (backend::DeviceBackend* b = panel_backend(nodes_))
+    return {b->shared_from_this(), backend::LaunchMode::Batched};
+  return backend::default_backend();
+}
+
 void UlvCholesky::solve_many(ConstMatrixView b, MatrixView x,
                              batched::ExecutionContext& ctx) const {
   const index_t n = size();
   const index_t nrhs = b.cols;
   H2S_CHECK(b.rows == n && x.rows == n && x.cols == nrhs, "ulv solve: shape mismatch");
+  backend::DeviceBackend* own = panel_backend(nodes_);
+  H2S_CHECK(own == nullptr || own == &ctx.device(),
+            "ulv solve: context device '" << ctx.device().name()
+                                          << "' does not own the factor panels (factored on '"
+                                          << own->name()
+                                          << "'); solve with a context on the same backend");
   const index_t levels = tree_->num_levels();
   const index_t leaf = tree_->leaf_level();
 
@@ -191,14 +241,16 @@ void UlvCholesky::solve_many(ConstMatrixView b, MatrixView x,
   }
 
   // Per-node working panels (local right-hand sides / solutions), alive for
-  // the whole solve.
-  std::vector<std::vector<Matrix>> work(static_cast<size_t>(levels));
+  // the whole solve. Device-resident: the sweeps read b and write x across
+  // the boundary inside their launches; only the root system round-trips
+  // through explicit copies.
+  std::vector<std::vector<backend::DeviceMatrix>> work(static_cast<size_t>(levels));
   for (index_t l = 1; l < levels; ++l) {
     const index_t cnt = tree_->nodes_at(l);
     work[static_cast<size_t>(l)].resize(static_cast<size_t>(cnt));
     for (index_t i = 0; i < cnt; ++i)
       work[static_cast<size_t>(l)][static_cast<size_t>(i)].resize(
-          nodes_[static_cast<size_t>(l)][static_cast<size_t>(i)].n_loc, nrhs);
+          ctx.device(), nodes_[static_cast<size_t>(l)][static_cast<size_t>(i)].n_loc, nrhs);
   }
 
   const auto stream = batched::kSampleStream;
@@ -221,7 +273,7 @@ void UlvCholesky::solve_many(ConstMatrixView b, MatrixView x,
         },
         [this, b, l, leaf, lvl_nodes, lvl_work, child_work, child_nodes, nrhs](index_t i) {
           const UlvNode& nd = lvl_nodes[i];
-          Matrix& w = lvl_work[i];
+          backend::DeviceMatrix& w = lvl_work[i];
           if (nd.n_loc == 0) return;
           if (l == leaf) {
             copy(b.block(tree_->begin(l, i), 0, nd.n_loc, nrhs), w.view());
@@ -248,16 +300,18 @@ void UlvCholesky::solve_many(ConstMatrixView b, MatrixView x,
   }
   ctx.sync(stream);
 
-  // Root system.
+  // Root system: marshal the reduced right-hand side to the host, solve
+  // against the host-resident root factor, push the solution back.
   const UlvNode& c1 = nodes_[1][0];
   const UlvNode& c2 = nodes_[1][1];
   const index_t r1 = c1.rank, r2 = c2.rank;
+  backend::DeviceBackend& dev = ctx.device();
   Matrix root_rhs(r1 + r2, nrhs);
-  if (r1 > 0) copy(work[1][0].view().row_range(0, r1), root_rhs.view().row_range(0, r1));
-  if (r2 > 0) copy(work[1][1].view().row_range(0, r2), root_rhs.view().row_range(r1, r2));
+  if (r1 > 0) dev.download(work[1][0].view().row_range(0, r1), root_rhs.view().row_range(0, r1));
+  if (r2 > 0) dev.download(work[1][1].view().row_range(0, r2), root_rhs.view().row_range(r1, r2));
   la::cholesky_solve(root_factor_.view(), root_rhs.view());
-  if (r1 > 0) copy(root_rhs.view().row_range(0, r1), work[1][0].view().row_range(0, r1));
-  if (r2 > 0) copy(root_rhs.view().row_range(r1, r2), work[1][1].view().row_range(0, r2));
+  if (r1 > 0) dev.upload(root_rhs.view().row_range(0, r1), work[1][0].view().row_range(0, r1));
+  if (r2 > 0) dev.upload(root_rhs.view().row_range(r1, r2), work[1][1].view().row_range(0, r2));
 
   // Backward sweep, top down: recover the interior unknowns, rotate back,
   // scatter to the children (or to x at the leaves).
@@ -276,7 +330,7 @@ void UlvCholesky::solve_many(ConstMatrixView b, MatrixView x,
         },
         [this, x, l, leaf, lvl_nodes, lvl_work, child_work, child_nodes, nrhs](index_t i) {
           const UlvNode& nd = lvl_nodes[i];
-          Matrix& w = lvl_work[i];
+          backend::DeviceMatrix& w = lvl_work[i];
           if (nd.n_loc == 0) return;
           const index_t r = nd.rank, z = nd.nz();
           if (z > 0) {
@@ -305,7 +359,7 @@ void UlvCholesky::solve_many(ConstMatrixView b, MatrixView x,
 }
 
 void UlvCholesky::solve_many(ConstMatrixView b, MatrixView x) const {
-  batched::ExecutionContext ctx(batched::Backend::Batched);
+  batched::ExecutionContext ctx(execution_config());
   solve_many(b, x, ctx);
 }
 
@@ -319,7 +373,7 @@ void UlvCholesky::solve(const_real_span b, real_span x, batched::ExecutionContex
 }
 
 void UlvCholesky::solve(const_real_span b, real_span x) const {
-  batched::ExecutionContext ctx(batched::Backend::Batched);
+  batched::ExecutionContext ctx(execution_config());
   solve(b, x, ctx);
 }
 

@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "backend/device_matrix.hpp"
 #include "batched/device.hpp"
 #include "solver/hss_matrix.hpp"
 
@@ -31,17 +32,20 @@
 
 namespace h2sketch::solver {
 
-/// Per-node factor panels (see file comment for the roles).
+/// Per-node factor panels (see file comment for the roles). The panels are
+/// device-resident — written and read only inside the factor/solve kernel
+/// launches, with the root system marshaled back to the host through
+/// explicit copies; `tau` is small per-node pivot metadata kept host-side.
 struct UlvNode {
   index_t n_loc = 0; ///< local dimension at elimination time
   index_t rank = 0;  ///< rows surviving to the parent (HSS rank)
-  Matrix qr;         ///< packed Householder QR of the merged generator
+  backend::DeviceMatrix qr; ///< packed Householder QR of the merged generator
   std::vector<real_t> tau;
   /// Transformed local diagonal after elimination: the leading rank x rank
   /// block holds the Schur complement S, the trailing block holds Lz (lower
   /// triangle), and the rank x (n_loc - rank) strip holds W.
-  Matrix dhat;
-  Matrix utilde; ///< reduced generator R passed to the parent (rank x rank)
+  backend::DeviceMatrix dhat;
+  backend::DeviceMatrix utilde; ///< reduced generator R passed to the parent (rank x rank)
 
   index_t nz() const { return n_loc - rank; }
 };
@@ -71,6 +75,13 @@ class UlvCholesky {
 
   /// Factor panel bytes (per-node QR/Dh/R plus the root factor).
   std::size_t memory_bytes() const;
+
+  /// A context configuration bound to the device backend that owns the
+  /// factor panels (the process default when the factor is root-only).
+  /// The convenience solve overloads and pcg use this, so a factor built
+  /// on one device is never solved through a context on another — the
+  /// explicit-context overloads check the same affinity.
+  backend::ExecutionConfig execution_config() const;
 
   /// The dense factor of the final reduced root system (tests/bench).
   const Matrix& root_factor() const { return root_factor_; }

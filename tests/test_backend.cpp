@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "backend/cpu_backend.hpp"
+#include "backend/device_matrix.hpp"
+#include "backend/registry.hpp"
+#include "backend/sim_device.hpp"
+#include "batched/device.hpp"
+#include "core/construction.hpp"
+#include "h2/h2_dense.hpp"
+#include "h2/h2_matvec.hpp"
+#include "kernels/dense_sampler.hpp"
+#include "kernels/kernels.hpp"
+#include "solver/hss_construction.hpp"
+#include "solver/ulv.hpp"
+#include "test_common.hpp"
+
+/// \file test_backend.cpp
+/// The device-backend seam: the DeviceBuffer memory model and its explicit
+/// marshaling copies, the SimulatedDevice separate heap with host-deref
+/// poisoning, the backend-allocated Workspace arena, and the end-to-end
+/// guarantee of the refactor — construction, H2 matvec and ULV
+/// factor/solve produce bitwise-identical results with unchanged launch
+/// counts on CpuBackend vs SimulatedDevice.
+
+namespace h2sketch::backend {
+namespace {
+
+using test_util::dense_kernel_matrix;
+using test_util::random_matrix;
+
+std::shared_ptr<SimulatedDevice> small_sim(bool poison = true) {
+  SimDeviceOptions opts;
+  opts.heap_bytes = std::size_t{256} << 20;
+  opts.poison = poison ? 1 : 0;
+  return make_sim_device(opts);
+}
+
+TEST(DeviceBuffer, AllocateCopyRoundTripAndStats) {
+  for (std::string_view name : {std::string_view("cpu"), std::string_view("simdevice")}) {
+    auto dev = make_backend(name).device;
+    const std::size_t n = 1000;
+    DeviceBuffer buf = dev->allocate(n * sizeof(real_t));
+    ASSERT_FALSE(buf.empty());
+    EXPECT_EQ(buf.bytes(), n * sizeof(real_t));
+
+    std::vector<real_t> host(n), back(n);
+    for (std::size_t i = 0; i < n; ++i) host[i] = static_cast<real_t>(i) * 0.5;
+    dev->copy_to_device(buf.data(), host.data(), n * sizeof(real_t));
+    dev->copy_to_host(back.data(), buf.data(), n * sizeof(real_t));
+    EXPECT_EQ(std::memcmp(host.data(), back.data(), n * sizeof(real_t)), 0) << name;
+
+    const DeviceStatsSnapshot s = dev->stats();
+    EXPECT_EQ(s.allocations, 1u);
+    EXPECT_EQ(s.bytes_to_device, n * sizeof(real_t));
+    EXPECT_EQ(s.bytes_to_host, n * sizeof(real_t));
+    EXPECT_EQ(s.live_bytes, n * sizeof(real_t));
+    buf.release();
+    EXPECT_EQ(dev->stats().live_bytes, 0u);
+    EXPECT_EQ(dev->stats().deallocations, 1u);
+  }
+}
+
+TEST(SimulatedDevice, KeepsASeparateHeap) {
+  auto sim = small_sim(false);
+  EXPECT_TRUE(sim->is_device());
+  EXPECT_EQ(sim->name(), "simdevice");
+  DeviceBuffer buf = sim->allocate(128);
+  EXPECT_TRUE(sim->owns(buf.data()));
+  int on_host_stack = 0;
+  EXPECT_FALSE(sim->owns(&on_host_stack));
+  std::vector<real_t> host_heap(4);
+  EXPECT_FALSE(sim->owns(host_heap.data()));
+  // CpuBackend pointers are host pointers, not device-heap pointers.
+  auto cpu = make_cpu_backend();
+  DeviceBuffer hb = cpu->allocate(128);
+  EXPECT_FALSE(sim->owns(hb.data()));
+}
+
+TEST(SimulatedDevice, FreeListReusesAndCoalesces) {
+  auto sim = small_sim(false);
+  DeviceBuffer a = sim->allocate(4096);
+  DeviceBuffer b = sim->allocate(4096);
+  void* pa = a.data();
+  void* pb = b.data();
+  a.release();
+  b.release();
+  // The coalesced block serves a request spanning both.
+  DeviceBuffer c = sim->allocate(8192);
+  EXPECT_EQ(c.data(), pa);
+  (void)pb;
+}
+
+TEST(SimulatedDevice, PoisonBlocksHostDereferenceOutsideKernelScopes) {
+  auto sim = small_sim(true);
+  if (!sim->poison_active()) GTEST_SKIP() << "poisoning unavailable on this platform";
+  DeviceBuffer buf = sim->allocate(64);
+  auto* p = static_cast<volatile real_t*>(buf.data());
+  {
+    // Inside a kernel scope the page is mapped and reads/writes succeed.
+    KernelScope ks(sim.get());
+    p[0] = 42.0;
+    EXPECT_EQ(p[0], 42.0);
+  }
+  // Outside any scope a host dereference of device memory must die.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH({ p[0] = 1.0; }, "");
+}
+
+TEST(SimulatedDevice, KernelScopesNestAcrossThreadsProcessWide) {
+  auto sim = small_sim(true);
+  if (!sim->poison_active()) GTEST_SKIP() << "poisoning unavailable on this platform";
+  DeviceBuffer buf = sim->allocate(64);
+  auto* p = static_cast<real_t*>(buf.data());
+  KernelScope outer(sim.get());
+  {
+    KernelScope inner(sim.get());
+    p[0] = 1.0;
+  }
+  // The outer scope is still live: access must keep working.
+  EXPECT_EQ(p[0], 1.0);
+}
+
+TEST(DeviceMatrix, ResizeZeroesAndAppendColsPreserves) {
+  for (std::string_view name : {std::string_view("cpu"), std::string_view("simdevice")}) {
+    auto dev = make_backend(name).device;
+    DeviceMatrix m;
+    m.resize(*dev, 3, 2);
+    EXPECT_EQ(la::norm_f(m.to_host().view()), 0.0) << name;
+    const Matrix h = random_matrix(3, 2, 5);
+    m.upload_from(h.view());
+    m.append_cols(*dev, 2);
+    EXPECT_EQ(m.rows(), 3);
+    EXPECT_EQ(m.cols(), 4);
+    const Matrix back = m.to_host();
+    EXPECT_EQ(max_abs_diff(back.view().col_range(0, 2), h.view()), 0.0);
+    EXPECT_EQ(la::norm_f(back.view().col_range(2, 2)), 0.0);
+  }
+}
+
+TEST(WorkspaceBackend, ArenaIsBackendAllocated) {
+  auto sim = small_sim(false);
+  Workspace ws(sim);
+  ws.reserve_bytes(1 << 12);
+  real_t* a = ws.allocate<real_t>(100);
+  real_t* b = ws.allocate<real_t>(100);
+  EXPECT_TRUE(sim->owns(a));
+  EXPECT_TRUE(sim->owns(b));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ws.backing_allocations(), 1);
+  ws.reset();
+  EXPECT_EQ(ws.allocate<real_t>(100), a); // arena recycled in place
+  // A context's workspace uses the context's device backend.
+  batched::ExecutionContext ctx(ExecutionConfig{sim, LaunchMode::Batched});
+  ctx.workspace().reserve_bytes(256);
+  EXPECT_TRUE(sim->owns(ctx.workspace().allocate<real_t>(8)));
+}
+
+/// Fixture running the acceptance guarantee end to end: identical
+/// workloads on a fresh CpuBackend and a fresh SimulatedDevice.
+struct TwoBackendWorkload {
+  std::shared_ptr<tree::ClusterTree> tr;
+  kern::ExponentialKernel k{0.3};
+  Matrix kd;
+  core::ConstructionOptions opts;
+
+  TwoBackendWorkload() {
+    tr = test_util::build_cube_tree(256, 2, 33, 16);
+    kd = dense_kernel_matrix(*tr, k);
+    opts.tol = 1e-6;
+    opts.sample_block = 16;
+    opts.initial_samples = 32;
+  }
+};
+
+TEST(BackendParity, ConstructionIsBitwiseIdenticalWithPinnedLaunches) {
+  TwoBackendWorkload w;
+  auto run = [&](std::string_view name) {
+    batched::ExecutionContext ctx(make_backend(name));
+    kern::DenseMatrixSampler sampler(w.kd.view());
+    kern::KernelEntryGenerator gen(*w.tr, w.k);
+    return core::construct_h2(w.tr, tree::Admissibility::general(0.7), sampler, gen, w.opts, ctx);
+  };
+  const auto cpu = run("cpu");
+  const auto sim = run("simdevice");
+  EXPECT_EQ(cpu.stats.kernel_launches, sim.stats.kernel_launches);
+  EXPECT_EQ(cpu.stats.total_samples, sim.stats.total_samples);
+  EXPECT_EQ(cpu.stats.max_rank, sim.stats.max_rank);
+  EXPECT_EQ(max_abs_diff(h2::densify(cpu.matrix).view(), h2::densify(sim.matrix).view()), 0.0);
+}
+
+TEST(BackendParity, MatvecIsBitwiseIdentical) {
+  TwoBackendWorkload w;
+  kern::DenseMatrixSampler sampler(w.kd.view());
+  kern::KernelEntryGenerator gen(*w.tr, w.k);
+  batched::ExecutionContext build_ctx(make_backend("cpu"));
+  const auto res =
+      core::construct_h2(w.tr, tree::Admissibility::general(0.7), sampler, gen, w.opts, build_ctx);
+  const Matrix x = random_matrix(res.matrix.size(), 3, 7);
+  Matrix y_cpu(res.matrix.size(), 3), y_sim(res.matrix.size(), 3);
+  batched::ExecutionContext c1(make_backend("cpu")), c2(make_backend("simdevice"));
+  h2::h2_matvec(c1, res.matrix, x.view(), y_cpu.view());
+  h2::h2_matvec(c2, res.matrix, x.view(), y_sim.view());
+  EXPECT_EQ(max_abs_diff(y_cpu.view(), y_sim.view()), 0.0);
+  EXPECT_EQ(c1.kernel_launches(), c2.kernel_launches());
+  // SimulatedDevice marshals x over and y back across its boundary.
+  const auto stats = c2.device().stats();
+  EXPECT_GE(stats.bytes_to_device,
+            static_cast<std::uint64_t>(res.matrix.size()) * 3 * sizeof(real_t));
+  EXPECT_GE(stats.bytes_to_host,
+            static_cast<std::uint64_t>(res.matrix.size()) * 3 * sizeof(real_t));
+}
+
+TEST(BackendParity, UlvFactorAndSolveAreBitwiseIdentical) {
+  auto tr = test_util::build_cube_tree(256, 2, 44, 16);
+  kern::ExponentialKernel base(0.3);
+  kern::RidgeKernel k(base, 1.0);
+  const Matrix kd = dense_kernel_matrix(*tr, k);
+  core::ConstructionOptions opts;
+  opts.tol = 1e-8;
+  opts.sample_block = 16;
+  opts.initial_samples = 32;
+
+  auto solve_with = [&](std::string_view name) {
+    batched::ExecutionContext ctx(make_backend(name));
+    kern::DenseMatrixSampler sampler(kd.view());
+    kern::KernelEntryGenerator gen(*tr, k);
+    auto res = solver::build_hss(tr, sampler, gen, opts, ctx);
+    auto f = solver::ulv_factor(res.matrix, ctx);
+    std::vector<real_t> b = test_util::random_vector(tr->num_points(), 21);
+    std::vector<real_t> x(b.size(), 0.0);
+    f.solve(b, x, ctx);
+    return std::pair<std::vector<real_t>, index_t>(std::move(x), ctx.kernel_launches());
+  };
+  const auto [x_cpu, launches_cpu] = solve_with("cpu");
+  const auto [x_sim, launches_sim] = solve_with("simdevice");
+  EXPECT_EQ(launches_cpu, launches_sim);
+  ASSERT_EQ(x_cpu.size(), x_sim.size());
+  for (size_t i = 0; i < x_cpu.size(); ++i) EXPECT_EQ(x_cpu[i], x_sim[i]) << "entry " << i;
+}
+
+TEST(BackendParity, ConvenienceSolveFollowsTheFactorsDevice) {
+  // A factor built on a non-default device must be solvable through the
+  // convenience overload (it binds to the owning device), while an
+  // explicit context on a different device is rejected instead of
+  // dereferencing a foreign poisoned heap.
+  auto tr = test_util::build_cube_tree(128, 2, 66, 16);
+  kern::ExponentialKernel base(0.3);
+  kern::RidgeKernel k(base, 1.0);
+  const Matrix kd = dense_kernel_matrix(*tr, k);
+  core::ConstructionOptions opts;
+  opts.tol = 1e-8;
+  opts.sample_block = 16;
+  opts.initial_samples = 32;
+  batched::ExecutionContext ctx(make_backend("simdevice"));
+  kern::DenseMatrixSampler sampler(kd.view());
+  kern::KernelEntryGenerator gen(*tr, k);
+  auto res = solver::build_hss(tr, sampler, gen, opts, ctx);
+  auto f = solver::ulv_factor(res.matrix, ctx);
+
+  const std::vector<real_t> b = test_util::random_vector(tr->num_points(), 9);
+  std::vector<real_t> x_conv(b.size(), 0.0), x_ctx(b.size(), 0.0);
+  f.solve(b, x_conv); // convenience: must bind to the factor's simdevice
+  f.solve(b, x_ctx, ctx);
+  for (size_t i = 0; i < b.size(); ++i) EXPECT_EQ(x_conv[i], x_ctx[i]);
+
+  batched::ExecutionContext other(make_backend("cpu"));
+  std::vector<real_t> x_bad(b.size(), 0.0);
+  EXPECT_THROW(f.solve(b, x_bad, other), std::runtime_error);
+}
+
+TEST(BackendParity, HssMatvecIsBitwiseIdenticalAndMatchesDensify) {
+  auto tr = test_util::build_cube_tree(256, 2, 55, 16);
+  kern::ExponentialKernel k(0.3);
+  const Matrix kd = dense_kernel_matrix(*tr, k);
+  core::ConstructionOptions opts;
+  opts.tol = 1e-7;
+  opts.sample_block = 16;
+  opts.initial_samples = 32;
+  kern::DenseMatrixSampler sampler(kd.view());
+  kern::KernelEntryGenerator gen(*tr, k);
+  batched::ExecutionContext build_ctx(make_backend("cpu"));
+  auto res = solver::build_hss(tr, sampler, gen, opts, build_ctx);
+
+  const index_t n = res.matrix.size();
+  const Matrix x = random_matrix(n, 2, 77);
+  Matrix y_cpu(n, 2), y_sim(n, 2), y_ref(n, 2);
+  batched::ExecutionContext c1(make_backend("cpu")), c2(make_backend("simdevice"));
+  res.matrix.matvec(c1, x.view(), y_cpu.view());
+  res.matrix.matvec(c2, x.view(), y_sim.view());
+  la::gemm(1.0, res.matrix.densify().view(), la::Op::None, x.view(), la::Op::None, 0.0,
+           y_ref.view());
+  EXPECT_EQ(max_abs_diff(y_cpu.view(), y_sim.view()), 0.0);
+  EXPECT_EQ(c1.kernel_launches(), c2.kernel_launches());
+  EXPECT_LT(test_util::rel_fro_error(y_cpu.view(), y_ref.view()), test_util::kMatvecRelTol);
+}
+
+} // namespace
+} // namespace h2sketch::backend

@@ -1,145 +1,290 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <string>
+
+#include "backend/device_matrix.hpp"
+#include "backend/registry.hpp"
 #include "batched/batched_gemm.hpp"
 #include "batched/batched_id.hpp"
 #include "batched/batched_qr.hpp"
 #include "batched/batched_rand.hpp"
+#include "batched/batched_solve.hpp"
 #include "batched/batched_transpose.hpp"
 #include "batched/bsr_gemm.hpp"
 #include "common/random.hpp"
+#include "kernels/entry_gen.hpp"
 #include "test_common.hpp"
+
+/// \file test_batched.cpp
+/// The registry-driven parity suite for the batched-primitive dispatch
+/// table: one parameterized fixture iterates every registered backend
+/// configuration (naive / cpu / simdevice) and, for every primitive in
+/// backend::all_ops(), asserts
+///   * bitwise-identical results against the per-entry host reference
+///     (hence bitwise identity across all backends, transitively), with
+///     operands marshaled into device memory, and
+///   * the pinned launch count of the configuration's launch mode.
+/// This replaces the former per-op Naive-vs-Batched tests.
 
 namespace h2sketch::batched {
 namespace {
 
 using test_util::random_matrix;
 
-class BackendTest : public ::testing::TestWithParam<Backend> {};
-
-TEST(ExecutionContext, LaunchAccountingPerBackend) {
-  ExecutionContext batched(Backend::Batched);
-  batched.run_batch(10, [](index_t) {});
-  EXPECT_EQ(batched.kernel_launches(), 1);
-
-  ExecutionContext naive(Backend::Naive);
-  naive.run_batch(10, [](index_t) {});
-  EXPECT_EQ(naive.kernel_launches(), 10);
-
-  batched.run_batch(0, [](index_t) {});
-  EXPECT_EQ(batched.kernel_launches(), 1); // empty batch: no launch
-  batched.reset_counters();
-  EXPECT_EQ(batched.kernel_launches(), 0);
+/// Launch pins: a batched configuration costs one launch per batch, the
+/// naive configuration one launch per entry.
+index_t pinned(const std::string& name, index_t batch_entries, index_t batched_launches) {
+  return name == "naive" ? batch_entries : batched_launches;
 }
 
-TEST_P(BackendTest, BatchedGemmMatchesPerEntryGemm) {
-  ExecutionContext ctx(GetParam());
+/// A device-resident copy of a host matrix plus download-back helpers, so
+/// every primitive is exercised across the marshaling boundary.
+struct DeviceOperand {
+  backend::DeviceMatrix dm;
+
+  DeviceOperand(backend::DeviceBackend& dev, ConstMatrixView host) {
+    dm.resize(dev, host.rows, host.cols);
+    if (!dm.empty()) dm.upload_from(host);
+  }
+};
+
+class RegistryBackendTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  RegistryBackendTest() : ctx_(backend::make_backend(GetParam())) {}
+
+  backend::DeviceBackend& dev() { return ctx_.device(); }
+
+  batched::ExecutionContext ctx_;
+};
+
+TEST(BackendRegistry, RegistersTheThreeBuiltInConfigurations) {
+  const auto names = backend::registered_backends();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "naive"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "cpu"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "simdevice"), names.end());
+  EXPECT_THROW((void)backend::make_backend("cuda"), std::runtime_error);
+}
+
+TEST(BackendRegistry, ParitySuiteCoversEveryRegisteredPrimitive) {
+  // Every op this suite exercises; extending the dispatch table without
+  // extending the suite fails here.
+  const std::vector<backend::OpKind> covered = {
+      backend::OpKind::Gemm,      backend::OpKind::GatherRows, backend::OpKind::BsrGemm,
+      backend::OpKind::MinRDiag,  backend::OpKind::RowId,      backend::OpKind::FillGaussian,
+      backend::OpKind::Transpose, backend::OpKind::Potrf,      backend::OpKind::TrsmLower,
+      backend::OpKind::EntryGen,
+  };
+  for (backend::OpKind op : backend::all_ops()) {
+    EXPECT_NE(std::find(covered.begin(), covered.end(), op), covered.end())
+        << "primitive '" << backend::op_name(op) << "' has no parity coverage";
+    for (std::string_view name : backend::registered_backends())
+      EXPECT_TRUE(backend::make_backend(name).device->supports(op))
+          << name << " lacks " << backend::op_name(op);
+  }
+}
+
+TEST_P(RegistryBackendTest, GemmMatchesPerEntryReferenceBitwise) {
   // Variable sizes, including an empty entry.
   const std::vector<std::array<index_t, 3>> dims = {{4, 5, 3}, {7, 2, 6}, {0, 3, 2}, {1, 1, 1}};
   std::vector<Matrix> as, bs, cs, refs;
+  std::vector<DeviceOperand> da, db, dc;
   for (size_t i = 0; i < dims.size(); ++i) {
     as.push_back(random_matrix(dims[i][0], dims[i][2], 10 + i));
     bs.push_back(random_matrix(dims[i][2], dims[i][1], 20 + i));
     cs.push_back(random_matrix(dims[i][0], dims[i][1], 30 + i));
     refs.push_back(to_matrix(cs.back().view()));
+    da.emplace_back(dev(), as[i].view());
+    db.emplace_back(dev(), bs[i].view());
+    dc.emplace_back(dev(), cs[i].view());
   }
   std::vector<ConstMatrixView> av, bv;
   std::vector<MatrixView> cv;
   for (size_t i = 0; i < dims.size(); ++i) {
-    av.push_back(as[i].view());
-    bv.push_back(bs[i].view());
-    cv.push_back(cs[i].view());
+    av.push_back(da[i].dm.view());
+    bv.push_back(db[i].dm.view());
+    cv.push_back(dc[i].dm.view());
   }
-  batched_gemm(ctx, 2.0, av, la::Op::None, bv, la::Op::None, 1.0, cv);
+  batched_gemm(ctx_, 2.0, av, la::Op::None, bv, la::Op::None, 1.0, cv);
   for (size_t i = 0; i < dims.size(); ++i) {
     la::gemm(2.0, as[i].view(), la::Op::None, bs[i].view(), la::Op::None, 1.0, refs[i].view());
-    EXPECT_LT(max_abs_diff(cs[i].view(), refs[i].view()), 1e-13);
+    const Matrix got = dc[i].dm.to_host();
+    EXPECT_EQ(max_abs_diff(got.view(), refs[i].view()), 0.0) << "entry " << i;
   }
+  EXPECT_EQ(ctx_.kernel_launches(),
+            pinned(GetParam(), static_cast<index_t>(dims.size()), 1));
 }
 
-TEST_P(BackendTest, BatchedMinRDiagMatchesSingle) {
-  ExecutionContext ctx(GetParam());
+TEST_P(RegistryBackendTest, GatherRowsMatchesReferenceBitwise) {
+  Matrix a = random_matrix(6, 3, 7);
+  DeviceOperand da(dev(), a.view());
+  backend::DeviceMatrix out;
+  out.resize(dev(), 2, 3);
+  std::vector<std::vector<index_t>> rows = {{5, 0}};
+  std::vector<ConstMatrixView> in = {da.dm.view()};
+  std::vector<MatrixView> dst = {out.view()};
+  batched_gather_rows(ctx_, in, rows, dst);
+  const Matrix got = out.to_host();
+  for (index_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(got(0, j), a(5, j));
+    EXPECT_EQ(got(1, j), a(0, j));
+  }
+  EXPECT_EQ(ctx_.kernel_launches(), pinned(GetParam(), 1, 1));
+}
+
+TEST_P(RegistryBackendTest, MinRDiagMatchesSingleBitwise) {
   std::vector<Matrix> mats;
   mats.push_back(random_matrix(10, 4, 1));
   mats.push_back(random_matrix(3, 8, 2));
   mats.push_back(Matrix(5, 5)); // zero matrix
+  std::vector<DeviceOperand> dm;
   std::vector<ConstMatrixView> views;
-  for (auto& m : mats) views.push_back(m.view());
+  for (auto& m : mats) {
+    dm.emplace_back(dev(), m.view());
+    views.push_back(dm.back().dm.view());
+  }
   std::vector<real_t> out(mats.size());
-  batched_min_r_diag(ctx, views, out);
+  batched_min_r_diag(ctx_, views, out);
   for (size_t i = 0; i < mats.size(); ++i)
-    EXPECT_DOUBLE_EQ(out[i], la::min_abs_r_diag(mats[i].view()));
+    EXPECT_EQ(out[i], la::min_abs_r_diag(mats[i].view()));
+  EXPECT_EQ(ctx_.kernel_launches(), pinned(GetParam(), 3, 1));
 }
 
-TEST_P(BackendTest, BatchedRowIdMatchesSingle) {
-  ExecutionContext ctx(GetParam());
+TEST_P(RegistryBackendTest, RowIdMatchesSingleBitwise) {
   std::vector<Matrix> mats;
   mats.push_back(random_matrix(12, 6, 3));
   mats.push_back(random_matrix(5, 9, 4));
+  std::vector<DeviceOperand> dm;
   std::vector<ConstMatrixView> views;
-  for (auto& m : mats) views.push_back(m.view());
+  for (auto& m : mats) {
+    dm.emplace_back(dev(), m.view());
+    views.push_back(dm.back().dm.view());
+  }
   std::vector<la::RowID> out(mats.size());
-  batched_row_id(ctx, views, 1e-10, -1, out);
+  batched_row_id(ctx_, views, 1e-10, -1, out);
   for (size_t i = 0; i < mats.size(); ++i) {
     const la::RowID ref = la::row_id(mats[i].view(), 1e-10, -1);
     EXPECT_EQ(out[i].skeleton, ref.skeleton);
-    EXPECT_LT(max_abs_diff(out[i].interp.view(), ref.interp.view()), 1e-14);
+    EXPECT_EQ(max_abs_diff(out[i].interp.view(), ref.interp.view()), 0.0);
   }
+  EXPECT_EQ(ctx_.kernel_launches(), pinned(GetParam(), 2, 1));
 }
 
-TEST_P(BackendTest, BatchedTranspose) {
-  ExecutionContext ctx(GetParam());
-  Matrix a = random_matrix(4, 7, 5);
-  Matrix b = random_matrix(3, 2, 6);
-  Matrix at(7, 4), bt(2, 3);
-  std::vector<ConstMatrixView> in = {a.view(), b.view()};
-  std::vector<MatrixView> out = {at.view(), bt.view()};
-  batched_transpose(ctx, in, out);
-  for (index_t i = 0; i < 4; ++i)
-    for (index_t j = 0; j < 7; ++j) EXPECT_EQ(at(j, i), a(i, j));
-  for (index_t i = 0; i < 3; ++i)
-    for (index_t j = 0; j < 2; ++j) EXPECT_EQ(bt(j, i), b(i, j));
-}
-
-TEST_P(BackendTest, BatchedGatherRows) {
-  ExecutionContext ctx(GetParam());
-  Matrix a = random_matrix(6, 3, 7);
-  Matrix out(2, 3);
-  std::vector<std::vector<index_t>> rows = {{5, 0}};
-  std::vector<ConstMatrixView> in = {a.view()};
-  std::vector<MatrixView> dst = {out.view()};
-  batched_gather_rows(ctx, in, rows, dst);
-  for (index_t j = 0; j < 3; ++j) {
-    EXPECT_EQ(out(0, j), a(5, j));
-    EXPECT_EQ(out(1, j), a(0, j));
-  }
-}
-
-TEST_P(BackendTest, FillGaussianIdenticalAcrossBackends) {
+TEST_P(RegistryBackendTest, FillGaussianIdenticalAcrossBackends) {
   // Counter-based RNG: the backend (and hence parallelization) must not
-  // change the generated values.
-  ExecutionContext ctx(GetParam());
+  // change the generated values. Monolithic and per-block forms.
   GaussianStream stream(99);
-  Matrix a(64, 8);
-  batched_fill_gaussian(ctx, a.view(), stream, 1234);
+  backend::DeviceMatrix a;
+  a.resize(dev(), 64, 8);
+  batched_fill_gaussian(ctx_, a.view(), stream, 1234);
   Matrix ref(64, 8);
   fill_gaussian(ref.view(), stream, 1234);
-  EXPECT_EQ(max_abs_diff(a.view(), ref.view()), 0.0);
+  EXPECT_EQ(max_abs_diff(a.to_host().view(), ref.view()), 0.0);
+  EXPECT_EQ(ctx_.kernel_launches(), 1); // monolithic fill: 1 in either mode
+
+  backend::DeviceMatrix b1, b2;
+  b1.resize(dev(), 5, 3);
+  b2.resize(dev(), 2, 7);
+  const std::vector<MatrixView> blocks = {b1.view(), b2.view()};
+  const std::vector<std::uint64_t> offsets = {11, 500};
+  batched_fill_gaussian(ctx_, blocks, stream, offsets);
+  Matrix r1(5, 3), r2(2, 7);
+  fill_gaussian(r1.view(), stream, 11);
+  fill_gaussian(r2.view(), stream, 500);
+  EXPECT_EQ(max_abs_diff(b1.to_host().view(), r1.view()), 0.0);
+  EXPECT_EQ(max_abs_diff(b2.to_host().view(), r2.view()), 0.0);
+  EXPECT_EQ(ctx_.kernel_launches(), 1 + pinned(GetParam(), 2, 1));
 }
 
-INSTANTIATE_TEST_SUITE_P(BothBackends, BackendTest,
-                         ::testing::Values(Backend::Naive, Backend::Batched));
+TEST_P(RegistryBackendTest, TransposeMatchesReferenceBitwise) {
+  Matrix a = random_matrix(4, 7, 5);
+  Matrix b = random_matrix(3, 2, 6);
+  DeviceOperand da(dev(), a.view()), db(dev(), b.view());
+  backend::DeviceMatrix at, bt;
+  at.resize(dev(), 7, 4);
+  bt.resize(dev(), 2, 3);
+  std::vector<ConstMatrixView> in = {da.dm.view(), db.dm.view()};
+  std::vector<MatrixView> out = {at.view(), bt.view()};
+  batched_transpose(ctx_, in, out);
+  const Matrix hat = at.to_host(), hbt = bt.to_host();
+  for (index_t i = 0; i < 4; ++i)
+    for (index_t j = 0; j < 7; ++j) EXPECT_EQ(hat(j, i), a(i, j));
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 2; ++j) EXPECT_EQ(hbt(j, i), b(i, j));
+  EXPECT_EQ(ctx_.kernel_launches(), pinned(GetParam(), 2, 1));
+}
+
+TEST_P(RegistryBackendTest, PotrfAndTrsmMatchPerEntryReferenceBitwise) {
+  SmallRng rng(515);
+  const index_t batch = 6;
+  std::vector<Matrix> spd(batch), rhs(batch);
+  std::vector<DeviceOperand> dspd, drhs;
+  for (index_t e = 0; e < batch; ++e) {
+    const index_t n = 1 + rng.next_index(20);
+    const index_t m = 1 + rng.next_index(8);
+    const Matrix g = random_matrix(n, n, 900 + static_cast<std::uint64_t>(e));
+    Matrix a(n, n);
+    la::gemm(1.0, g.view(), la::Op::None, g.view(), la::Op::Trans, 0.0, a.view());
+    for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<real_t>(n);
+    spd[static_cast<size_t>(e)] = to_matrix(a.view());
+    rhs[static_cast<size_t>(e)] = random_matrix(m, n, 1900 + static_cast<std::uint64_t>(e));
+    dspd.emplace_back(dev(), spd[static_cast<size_t>(e)].view());
+    drhs.emplace_back(dev(), rhs[static_cast<size_t>(e)].view());
+  }
+  std::vector<MatrixView> av;
+  for (auto& d : dspd) av.push_back(d.dm.view());
+  batched_potrf(ctx_, kSampleStream, std::move(av));
+  std::vector<ConstMatrixView> lv;
+  std::vector<MatrixView> bv;
+  for (index_t e = 0; e < batch; ++e) {
+    lv.push_back(dspd[static_cast<size_t>(e)].dm.view());
+    bv.push_back(drhs[static_cast<size_t>(e)].dm.view());
+  }
+  batched_trsm_lower(ctx_, kSampleStream, TrsmSide::Right, la::Op::Trans, std::move(lv),
+                     std::move(bv));
+  ctx_.sync_all();
+  for (index_t e = 0; e < batch; ++e) {
+    Matrix ref_l = to_matrix(spd[static_cast<size_t>(e)].view());
+    la::cholesky(ref_l.view());
+    Matrix ref_b = to_matrix(rhs[static_cast<size_t>(e)].view());
+    la::trsm_lower_right(ref_l.view(), la::Op::Trans, ref_b.view());
+    EXPECT_EQ(max_abs_diff(dspd[static_cast<size_t>(e)].dm.to_host().view(), ref_l.view()), 0.0);
+    EXPECT_EQ(max_abs_diff(drhs[static_cast<size_t>(e)].dm.to_host().view(), ref_b.view()), 0.0);
+  }
+  EXPECT_EQ(ctx_.kernel_launches(), pinned(GetParam(), 2 * batch, 2));
+}
+
+TEST_P(RegistryBackendTest, EntryGenMatchesDirectEvaluationBitwise) {
+  const Matrix source = random_matrix(16, 16, 88);
+  kern::DenseEntryGenerator gen(source.view());
+  const std::vector<index_t> rows = {3, 0, 9};
+  const std::vector<index_t> cols = {1, 15};
+  backend::DeviceMatrix out1, out2;
+  out1.resize(dev(), 3, 2);
+  out2.resize(dev(), 2, 3);
+  std::vector<kern::BlockRequest> reqs = {{rows, cols, out1.view()}, {cols, rows, out2.view()}};
+  kern::batched_generate(ctx_, gen, reqs);
+  Matrix ref1(3, 2), ref2(2, 3);
+  gen.generate_block(rows, cols, ref1.view());
+  gen.generate_block(cols, rows, ref2.view());
+  EXPECT_EQ(max_abs_diff(out1.to_host().view(), ref1.view()), 0.0);
+  EXPECT_EQ(max_abs_diff(out2.to_host().view(), ref2.view()), 0.0);
+  EXPECT_EQ(ctx_.kernel_launches(), pinned(GetParam(), 2, 1));
+}
 
 /// Random CSR block pattern over `rows` x `cols` nodes with uniform block
-/// dims; reference result computed densely.
+/// dims; reference result computed densely. Operands are device-resident.
 struct BsrFixture {
   std::vector<index_t> row_ptr, col;
-  std::vector<Matrix> block_store;
-  std::vector<Matrix> x_store, y_store, y_ref;
+  std::vector<Matrix> block_store, x_store, y_store, y_ref;
+  std::vector<backend::DeviceMatrix> dblocks, dx, dy;
   std::vector<ConstMatrixView> blocks, xv;
   std::vector<MatrixView> yv;
 
-  BsrFixture(index_t rows, index_t cols, index_t bm, index_t bn, index_t ncols,
-             real_t density, std::uint64_t seed) {
+  BsrFixture(backend::DeviceBackend& dev, index_t rows, index_t cols, index_t bm, index_t bn,
+             index_t ncols, real_t density, std::uint64_t seed) {
     SmallRng rng(seed);
     row_ptr.push_back(0);
     for (index_t r = 0; r < rows; ++r) {
@@ -154,9 +299,26 @@ struct BsrFixture {
       y_store.push_back(random_matrix(bm, ncols, seed + 900 + r));
       y_ref.push_back(to_matrix(y_store.back().view()));
     }
-    for (auto& b : block_store) blocks.push_back(b.view());
-    for (auto& x : x_store) xv.push_back(x.view());
-    for (auto& y : y_store) yv.push_back(y.view());
+    auto device_copies = [&dev](const std::vector<Matrix>& host,
+                                std::vector<backend::DeviceMatrix>& out) {
+      out.resize(host.size());
+      for (size_t i = 0; i < host.size(); ++i) {
+        out[i].resize(dev, host[i].rows(), host[i].cols());
+        if (!out[i].empty()) out[i].upload_from(host[i].view());
+      }
+    };
+    device_copies(block_store, dblocks);
+    device_copies(x_store, dx);
+    device_copies(y_store, dy);
+    for (auto& b : dblocks) blocks.push_back(b.view());
+    for (auto& x : dx) xv.push_back(x.view());
+    for (auto& y : dy) yv.push_back(y.view());
+  }
+
+  index_t max_blocks_per_row() const {
+    index_t mx = 0;
+    for (size_t r = 0; r + 1 < row_ptr.size(); ++r) mx = std::max(mx, row_ptr[r + 1] - row_ptr[r]);
+    return mx;
   }
 
   void reference(real_t alpha) {
@@ -168,39 +330,23 @@ struct BsrFixture {
   }
 };
 
-TEST_P(BackendTest, BsrGemmMatchesDenseReference) {
-  ExecutionContext ctx(GetParam());
-  BsrFixture f(6, 5, 4, 3, 2, 0.5, 42);
+TEST_P(RegistryBackendTest, BsrGemmMatchesDenseReferenceBitwise) {
+  BsrFixture f(dev(), 6, 5, 4, 3, 2, 0.5, 42);
   f.reference(-1.0);
-  bsr_gemm(ctx, -1.0, f.row_ptr, f.col, f.blocks, f.xv, f.yv);
-  for (size_t r = 0; r < f.y_store.size(); ++r)
-    EXPECT_LT(max_abs_diff(f.y_store[r].view(), f.y_ref[r].view()), 1e-12);
+  const index_t sub = bsr_gemm(ctx_, -1.0, f.row_ptr, f.col, f.blocks, f.xv, f.yv);
+  EXPECT_EQ(sub, f.max_blocks_per_row());
+  for (size_t r = 0; r < f.dy.size(); ++r)
+    EXPECT_EQ(max_abs_diff(f.dy[r].to_host().view(), f.y_ref[r].view()), 0.0);
+  // One launch per sub-batch; the naive mode pays the per-entry price for
+  // each of the `rows` entries of every sub-batch.
+  const index_t rows = static_cast<index_t>(f.row_ptr.size()) - 1;
+  EXPECT_EQ(ctx_.kernel_launches(), pinned(GetParam(), sub * rows, sub));
 }
 
-TEST(BsrGemm, LaunchCountIsMaxBlocksPerRow) {
-  ExecutionContext ctx(Backend::Batched);
-  BsrFixture f(8, 8, 3, 3, 2, 0.4, 7);
-  index_t max_row = 0;
-  for (size_t r = 0; r + 1 < f.row_ptr.size(); ++r)
-    max_row = std::max(max_row, f.row_ptr[r + 1] - f.row_ptr[r]);
-  const index_t sub = bsr_gemm(ctx, 1.0, f.row_ptr, f.col, f.blocks, f.xv, f.yv);
-  EXPECT_EQ(sub, max_row);
-  EXPECT_EQ(ctx.kernel_launches(), max_row); // one launch per sub-batch
-}
-
-TEST(BsrGemm, EmptyPatternIsNoop) {
-  ExecutionContext ctx(Backend::Batched);
-  std::vector<index_t> row_ptr = {0, 0, 0};
-  Matrix y0(3, 2), y1(3, 2);
-  std::vector<MatrixView> yv = {y0.view(), y1.view()};
-  const index_t sub = bsr_gemm(ctx, 1.0, row_ptr, {}, {}, {}, yv);
-  EXPECT_EQ(sub, 0);
-  EXPECT_EQ(ctx.kernel_launches(), 0);
-}
-
-TEST(BsrGemm, RaggedRowsHandled) {
-  // Rows with 0, 1 and 3 blocks; block dims vary per entry.
-  ExecutionContext ctx(Backend::Batched);
+TEST_P(RegistryBackendTest, BsrGemmHandlesRaggedRowsAndHeterogeneousBlocks) {
+  // Rows with 0, 1 and 3 blocks; block dims vary per entry — the shape a
+  // real level mix produces, and the case a uniform-dims-only backend
+  // override would get wrong.
   std::vector<index_t> row_ptr = {0, 0, 1, 4};
   std::vector<index_t> col = {2, 0, 1, 2};
   // Row block heights: y0 2x2, y1 3x2, y2 4x2. Column widths: x0 2, x1 3, x2 5.
@@ -210,36 +356,69 @@ TEST(BsrGemm, RaggedRowsHandled) {
   bl.push_back(random_matrix(4, 2, 2)); // (2,0)
   bl.push_back(random_matrix(4, 3, 3)); // (2,1)
   bl.push_back(random_matrix(4, 5, 4)); // (2,2)
-  std::vector<Matrix> xs, ys, yr;
-  for (index_t c = 0; c < 3; ++c) xs.push_back(random_matrix(col_n[static_cast<size_t>(c)], 2, 5 + c));
-  for (index_t r = 0; r < 3; ++r) {
-    ys.push_back(Matrix(row_m[static_cast<size_t>(r)], 2));
-    yr.push_back(Matrix(row_m[static_cast<size_t>(r)], 2));
-  }
+  std::vector<Matrix> xs, yr;
+  for (index_t c = 0; c < 3; ++c)
+    xs.push_back(random_matrix(col_n[static_cast<size_t>(c)], 2, 5 + c));
+  for (index_t r = 0; r < 3; ++r) yr.push_back(Matrix(row_m[static_cast<size_t>(r)], 2));
+  std::vector<DeviceOperand> dbl, dxs;
+  std::vector<backend::DeviceMatrix> dys(3);
   std::vector<ConstMatrixView> bv, xv;
   std::vector<MatrixView> yv;
-  for (auto& b : bl) bv.push_back(b.view());
-  for (auto& x : xs) xv.push_back(x.view());
-  for (auto& y : ys) yv.push_back(y.view());
-  bsr_gemm(ctx, 1.0, row_ptr, col, bv, xv, yv);
+  for (auto& b : bl) {
+    dbl.emplace_back(dev(), b.view());
+    bv.push_back(dbl.back().dm.view());
+  }
+  for (auto& x : xs) {
+    dxs.emplace_back(dev(), x.view());
+    xv.push_back(dxs.back().dm.view());
+  }
+  for (index_t r = 0; r < 3; ++r) {
+    dys[static_cast<size_t>(r)].resize(dev(), row_m[static_cast<size_t>(r)], 2);
+    yv.push_back(dys[static_cast<size_t>(r)].view());
+  }
+  const index_t sub = bsr_gemm(ctx_, 1.0, row_ptr, col, bv, xv, yv);
+  EXPECT_EQ(sub, 3);
   la::gemm(1.0, bl[0].view(), la::Op::None, xs[2].view(), la::Op::None, 1.0, yr[1].view());
   la::gemm(1.0, bl[1].view(), la::Op::None, xs[0].view(), la::Op::None, 1.0, yr[2].view());
   la::gemm(1.0, bl[2].view(), la::Op::None, xs[1].view(), la::Op::None, 1.0, yr[2].view());
   la::gemm(1.0, bl[3].view(), la::Op::None, xs[2].view(), la::Op::None, 1.0, yr[2].view());
   for (size_t r = 0; r < 3; ++r)
-    EXPECT_LT(max_abs_diff(ys[r].view(), yr[r].view()), 1e-12);
-  EXPECT_EQ(la::norm_f(ys[0].view()), 0.0);
+    EXPECT_EQ(max_abs_diff(dys[r].to_host().view(), yr[r].view()), 0.0);
+  EXPECT_EQ(la::norm_f(dys[0].to_host().view()), 0.0); // blockless row untouched
+  EXPECT_EQ(ctx_.kernel_launches(), pinned(GetParam(), sub * 3, sub));
 }
 
-TEST(BsrGemm, NaiveAndBatchedProduceIdenticalResults) {
-  BsrFixture f1(5, 4, 3, 3, 2, 0.6, 9);
-  BsrFixture f2(5, 4, 3, 3, 2, 0.6, 9);
-  ExecutionContext cb(Backend::Batched), cn(Backend::Naive);
-  bsr_gemm(cb, 1.0, f1.row_ptr, f1.col, f1.blocks, f1.xv, f1.yv);
-  bsr_gemm(cn, 1.0, f2.row_ptr, f2.col, f2.blocks, f2.xv, f2.yv);
-  for (size_t r = 0; r < f1.y_store.size(); ++r)
-    EXPECT_EQ(max_abs_diff(f1.y_store[r].view(), f2.y_store[r].view()), 0.0);
-  EXPECT_GE(cn.kernel_launches(), cb.kernel_launches());
+TEST_P(RegistryBackendTest, BsrGemmEmptyPatternIsNoop) {
+  std::vector<index_t> row_ptr = {0, 0, 0};
+  Matrix y0(3, 2), y1(3, 2);
+  std::vector<MatrixView> yv = {y0.view(), y1.view()};
+  const index_t sub = bsr_gemm(ctx_, 1.0, row_ptr, {}, {}, {}, yv);
+  EXPECT_EQ(sub, 0);
+  EXPECT_EQ(ctx_.kernel_launches(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRegisteredBackends, RegistryBackendTest,
+                         ::testing::ValuesIn([] {
+                           std::vector<std::string> names;
+                           for (std::string_view n : backend::registered_backends())
+                             names.emplace_back(n);
+                           return names;
+                         }()),
+                         [](const auto& info) { return info.param; });
+
+TEST(ExecutionContext, LaunchAccountingPerBackend) {
+  ExecutionContext batched(Backend::Batched);
+  batched.run_batch(10, [](index_t) {});
+  EXPECT_EQ(batched.kernel_launches(), 1);
+
+  ExecutionContext naive(Backend::Naive);
+  naive.run_batch(10, [](index_t) {});
+  EXPECT_EQ(naive.kernel_launches(), 10);
+
+  batched.run_batch(0, [](index_t) {});
+  EXPECT_EQ(batched.kernel_launches(), 1); // empty batch: no launch
+  batched.reset_counters();
+  EXPECT_EQ(batched.kernel_launches(), 0);
 }
 
 } // namespace

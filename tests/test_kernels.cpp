@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "batched/device.hpp"
 #include "common/random.hpp"
 #include "kernels/dense_sampler.hpp"
 #include "kernels/entry_gen.hpp"
