@@ -22,6 +22,7 @@
 #include "kernels/dense_sampler.hpp"
 #include "kernels/entry_gen.hpp"
 #include "kernels/kernels.hpp"
+#include "kernels/proxy_sampler.hpp"
 
 #if defined(_OPENMP)
 #include <omp.h>
@@ -51,22 +52,26 @@ void set_threads(int t) {
 }
 
 Measurement build_once(index_t n, index_t leaf, int threads, RuntimeMode mode,
-                       std::uint64_t seed) {
+                       std::uint64_t seed, kern::SamplerKind kind) {
   set_threads(threads);
   set_runtime_mode(mode);
   auto tree = std::make_shared<tree::ClusterTree>(
       tree::ClusterTree::build(geo::uniform_random_cube(n, 3, seed), leaf));
   kern::ExponentialKernel kernel(0.2);
   kern::KernelEntryGenerator gen(*tree, kernel);
-  kern::KernelMatVecSampler sampler(*tree, kernel);
   core::ConstructionOptions opts;
   opts.tol = 1e-6;
   opts.initial_samples = 32;
   opts.sample_block = 32;
+  // Surrogate setup (proxy kind) happens outside the timed region: the A/B
+  // here compares the construction runtime's scheduling, not sampler setup.
+  kern::ProxySamplerOptions popts;
+  popts.tol = opts.tol;
+  auto sampler = kern::make_kernel_sampler(kind, tree, kernel, popts);
 
   batched::ExecutionContext ctx;
   const double t0 = wall_seconds();
-  auto res = core::construct_h2(tree, tree::Admissibility::general(0.7), sampler, gen, opts, ctx);
+  auto res = core::construct_h2(tree, tree::Admissibility::general(0.7), *sampler, gen, opts, ctx);
   Measurement m;
   m.n = n;
   m.threads = threads;
@@ -81,10 +86,11 @@ Measurement build_once(index_t n, index_t leaf, int threads, RuntimeMode mode,
 
 /// Best of `reps` runs (damps scheduler noise without averaging in cold
 /// caches).
-Measurement best_of(index_t n, index_t leaf, int threads, RuntimeMode mode, int reps) {
+Measurement best_of(index_t n, index_t leaf, int threads, RuntimeMode mode, int reps,
+                    kern::SamplerKind kind) {
   Measurement best;
   for (int r = 0; r < reps; ++r) {
-    Measurement m = build_once(n, leaf, threads, mode, /*seed=*/1234);
+    Measurement m = build_once(n, leaf, threads, mode, /*seed=*/1234, kind);
     if (best.n == 0 || m.seconds < best.seconds) best = m;
   }
   return best;
@@ -94,6 +100,11 @@ Measurement best_of(index_t n, index_t leaf, int threads, RuntimeMode mode, int 
 
 int main(int argc, char** argv) {
   const bool smoke = has_flag(argc, argv, "--smoke");
+  // --proxy switches the sketching operator to the O(N d) proxy-point
+  // sampler (H2SKETCH_SAMPLER=exact|proxy overrides either default) — the
+  // CI sanitizers drive the proxy launch paths through this flag.
+  const kern::SamplerKind kind = kern::sampler_kind_from_env(
+      has_flag(argc, argv, "--proxy") ? kern::SamplerKind::Proxy : kern::SamplerKind::Exact);
 
   // A 3D cube at eta = 0.7 needs depth before any pair is admissible
   // (leaf 32 has zero far blocks below N ~ 2048), so the smoke problem
@@ -116,8 +127,8 @@ int main(int argc, char** argv) {
   bool consistent = true;
   for (index_t n : sizes) {
     for (int t : thread_counts) {
-      const Measurement flat = best_of(n, leaf, t, RuntimeMode::FlatOpenMP, reps);
-      const Measurement streams = best_of(n, leaf, t, RuntimeMode::Streams, reps);
+      const Measurement flat = best_of(n, leaf, t, RuntimeMode::FlatOpenMP, reps, kind);
+      const Measurement streams = best_of(n, leaf, t, RuntimeMode::Streams, reps, kind);
       // The runtime is a scheduling change only: identical adaptive control
       // flow (and therefore samples/ranks) in both modes is a correctness
       // gate, not a benchmark statistic.
@@ -153,13 +164,19 @@ int main(int argc, char** argv) {
   if (!consistent)
     std::cout << "WARNING: flat and stream modes disagreed on samples/ranks\n";
 
-  // Smoke runs write a separate (gitignored) file so reproducing the CI
-  // step from the repo root cannot clobber the committed full-mode record.
-  const char* json_name = smoke ? "BENCH_construction_smoke.json" : "BENCH_construction.json";
+  // Smoke and proxy runs write separate (gitignored) files so reproducing
+  // the CI steps from the repo root cannot clobber the committed full-mode
+  // exact-sampler record.
+  const bool proxy_kind = kind == kern::SamplerKind::Proxy;
+  const char* json_name =
+      proxy_kind ? (smoke ? "BENCH_construction_proxy_smoke.json" : "BENCH_construction_proxy.json")
+                 : (smoke ? "BENCH_construction_smoke.json" : "BENCH_construction.json");
   std::ofstream json(json_name);
   json << "{\n  \"bench\": \"construction\",\n  \"mode\": \"" << (smoke ? "smoke" : "full")
        << "\",\n  \"hardware_threads\": " << hw << ",\n  \"workload\": "
-       << "\"3D cube, exponential kernel (l=0.2), KernelMatVecSampler, tol=1e-6\""
+       << "\"3D cube, exponential kernel (l=0.2), "
+       << (kind == kern::SamplerKind::Proxy ? "ProxyMatVecSampler" : "KernelMatVecSampler")
+       << ", tol=1e-6\""
        << ",\n  \"leaf\": " << leaf << ",\n  \"consistent\": " << (consistent ? "true" : "false")
        << ",\n  \"note\": \"rows with threads > hardware_threads are oversubscribed: they "
        << "measure scheduler overhead, not scaling — compare flat vs streams per row, and "

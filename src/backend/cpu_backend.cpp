@@ -1,6 +1,7 @@
 #include "backend/cpu_backend.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <new>
 #include <utility>
@@ -148,6 +149,40 @@ void CpuBackend::min_r_diag(batched::ExecutionContext& ctx, std::span<const Cons
     const auto ui = static_cast<size_t>(i);
     out[ui] = la::min_abs_r_diag(a[ui]);
   });
+}
+
+void CpuBackend::min_r_diag_update(batched::ExecutionContext& ctx,
+                                   std::span<const MatrixView> work,
+                                   std::span<const index_t> factored,
+                                   std::span<std::vector<real_t>> tau, std::span<real_t> out) {
+  H2S_CHECK(work.size() == out.size() && work.size() == factored.size() &&
+                work.size() == tau.size(),
+            "batched_min_r_diag_update: batch size mismatch");
+  // Synchronous (the probe gates the adaptive loop) and cost-chunked: per
+  // entry the continuation replays k reflectors over dn appended columns and
+  // factors them, O(m k dn + m dn^2) — the dominant m-range spans orders of
+  // magnitude across a level.
+  ctx.run_batch(
+      batched::kSampleStream, static_cast<index_t>(work.size()),
+      [&](index_t i) {
+        const auto& v = work[static_cast<size_t>(i)];
+        const index_t dn = v.cols - factored[static_cast<size_t>(i)];
+        return v.rows * dn * (std::min(v.rows, v.cols) + dn);
+      },
+      [&](index_t i) {
+        const auto ui = static_cast<size_t>(i);
+        const MatrixView& v = work[ui];
+        if (v.rows == 0 || v.cols == 0) {
+          out[ui] = 0.0;
+          return;
+        }
+        la::householder_qr_continue(v, tau[ui], factored[ui]);
+        const index_t kmax = std::min(v.rows, v.cols);
+        real_t mn = std::abs(v(0, 0));
+        for (index_t d = 1; d < kmax; ++d) mn = std::min(mn, std::abs(v(d, d)));
+        out[ui] = mn;
+      });
+  ctx.sync(batched::kSampleStream);
 }
 
 void CpuBackend::row_id(batched::ExecutionContext& ctx, std::span<const ConstMatrixView> y,

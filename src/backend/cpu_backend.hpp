@@ -32,6 +32,10 @@ class CpuBackend : public DeviceBackend {
   void min_r_diag(batched::ExecutionContext& ctx, std::span<const ConstMatrixView> a,
                   std::span<real_t> out) override;
 
+  void min_r_diag_update(batched::ExecutionContext& ctx, std::span<const MatrixView> work,
+                         std::span<const index_t> factored, std::span<std::vector<real_t>> tau,
+                         std::span<real_t> out) override;
+
   void row_id(batched::ExecutionContext& ctx, std::span<const ConstMatrixView> y, real_t abs_tol,
               index_t max_rank, std::span<la::RowID> out) override;
 

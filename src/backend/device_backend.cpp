@@ -9,10 +9,10 @@ namespace h2sketch::backend {
 
 namespace {
 
-constexpr std::array<OpKind, 10> kAllOps = {
-    OpKind::Gemm,     OpKind::GatherRows,   OpKind::BsrGemm,   OpKind::MinRDiag,
-    OpKind::RowId,    OpKind::FillGaussian, OpKind::Transpose, OpKind::Potrf,
-    OpKind::TrsmLower, OpKind::EntryGen,
+constexpr std::array<OpKind, 11> kAllOps = {
+    OpKind::Gemm,      OpKind::GatherRows,   OpKind::BsrGemm,   OpKind::MinRDiag,
+    OpKind::MinRDiagUpdate, OpKind::RowId,   OpKind::FillGaussian, OpKind::Transpose,
+    OpKind::Potrf,     OpKind::TrsmLower,    OpKind::EntryGen,
 };
 
 } // namespace
@@ -23,6 +23,7 @@ std::string_view op_name(OpKind kind) {
     case OpKind::GatherRows: return "batched_gather_rows";
     case OpKind::BsrGemm: return "bsr_gemm";
     case OpKind::MinRDiag: return "batched_min_r_diag";
+    case OpKind::MinRDiagUpdate: return "batched_min_r_diag_update";
     case OpKind::RowId: return "batched_row_id";
     case OpKind::FillGaussian: return "batched_fill_gaussian";
     case OpKind::Transpose: return "batched_transpose";

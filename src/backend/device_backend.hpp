@@ -65,7 +65,8 @@ enum class OpKind {
   Gemm,         ///< non-uniform batched C = alpha op(A) op(B) + beta C
   GatherRows,   ///< dst[i] = src[i](rows[i], :) — the paper's batchedShrink
   BsrGemm,      ///< block-sparse-row accumulation, <= Csp sub-launches
-  MinRDiag,     ///< min |diag(R)| QR probe (adaptive convergence test)
+  MinRDiag,       ///< min |diag(R)| QR probe (adaptive convergence test)
+  MinRDiagUpdate, ///< incremental MinRDiag over appended sample columns
   RowId,        ///< batched row interpolative decomposition
   FillGaussian, ///< counter-based batched Gaussian generation
   Transpose,    ///< batched out[i] = in[i]^T
@@ -219,6 +220,16 @@ class DeviceBackend : public std::enable_shared_from_this<DeviceBackend> {
 
   virtual void min_r_diag(batched::ExecutionContext& ctx, std::span<const ConstMatrixView> a,
                           std::span<real_t> out) = 0;
+
+  /// Incremental MinRDiag: work[i] holds a Householder-factored prefix of
+  /// factored[i] columns (reflector scalars in tau[i]) followed by freshly
+  /// appended sample columns. Extends the factorization in place over the
+  /// new columns (tau[i] grows) and writes min |diag(R)| to out[i] —
+  /// bitwise identical to min_r_diag of the full panel, at
+  /// O(m k dn + m dn^2) instead of O(m d^2) per probe.
+  virtual void min_r_diag_update(batched::ExecutionContext& ctx, std::span<const MatrixView> work,
+                                 std::span<const index_t> factored,
+                                 std::span<std::vector<real_t>> tau, std::span<real_t> out) = 0;
 
   virtual void row_id(batched::ExecutionContext& ctx, std::span<const ConstMatrixView> y,
                       real_t abs_tol, index_t max_rank, std::span<la::RowID> out) = 0;

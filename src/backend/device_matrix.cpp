@@ -1,5 +1,6 @@
 #include "backend/device_matrix.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.hpp"
@@ -26,7 +27,17 @@ void DeviceMatrix::append_cols(DeviceBackend& b, index_t extra) {
   const auto old_bytes = static_cast<std::size_t>(m) * static_cast<std::size_t>(n) * sizeof(real_t);
   const auto new_bytes =
       static_cast<std::size_t>(m) * static_cast<std::size_t>(n + extra) * sizeof(real_t);
-  DeviceBuffer grown = b.allocate(new_bytes);
+  if (new_bytes <= buf_.bytes() && buf_.backend() == &b) {
+    // Slack left by a previous geometric grow: the old columns are already
+    // in place, only the appended tail needs the zero fill.
+    b.fill_zero(static_cast<std::byte*>(buf_.data()) + old_bytes, new_bytes - old_bytes);
+    cols_ = n + extra;
+    return;
+  }
+  // Grow geometrically so a sequence of block appends (the adaptive
+  // sampling loop) copies each element O(1) amortized times instead of
+  // once per round.
+  DeviceBuffer grown = b.allocate(std::max(new_bytes, 2 * buf_.bytes()));
   if (new_bytes != 0) {
     // Contiguous column-major storage: the old columns are one block and
     // only the appended tail needs the zero fill.

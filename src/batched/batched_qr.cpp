@@ -7,4 +7,10 @@ void batched_min_r_diag(ExecutionContext& ctx, std::span<const ConstMatrixView> 
   ctx.device().min_r_diag(ctx, a, out);
 }
 
+void batched_min_r_diag_update(ExecutionContext& ctx, std::span<const MatrixView> work,
+                               std::span<const index_t> factored,
+                               std::span<std::vector<real_t>> tau, std::span<real_t> out) {
+  ctx.device().min_r_diag_update(ctx, work, factored, tau, out);
+}
+
 } // namespace h2sketch::batched

@@ -16,4 +16,13 @@ namespace h2sketch::batched {
 void batched_min_r_diag(ExecutionContext& ctx, std::span<const ConstMatrixView> a,
                         std::span<real_t> out);
 
+/// Incremental probe: work[i] holds la::householder_qr output in its first
+/// factored[i] columns (scalars in tau[i]) and fresh sample columns after;
+/// extends each factorization in place over the appended columns and writes
+/// min |diag(R)| to out[i]. Bitwise identical to batched_min_r_diag of the
+/// full panels, but each adaptive round only pays for the new columns.
+void batched_min_r_diag_update(ExecutionContext& ctx, std::span<const MatrixView> work,
+                               std::span<const index_t> factored,
+                               std::span<std::vector<real_t>> tau, std::span<real_t> out);
+
 } // namespace h2sketch::batched

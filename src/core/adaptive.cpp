@@ -247,11 +247,35 @@ bool H2SketchBuilder::level_converged(index_t level) {
   PhaseScope scope(stats_.phases, Phase::Convergence);
   const index_t nodes = tree_->nodes_at(level);
   const auto ul = static_cast<size_t>(level);
-  std::vector<ConstMatrixView> views;
-  views.reserve(static_cast<size_t>(nodes));
-  for (index_t i = 0; i < nodes; ++i) views.push_back(yloc_[ul][static_cast<size_t>(i)].view());
+  // Probe on a working copy of Y_loc whose factorization persists across
+  // adaptive rounds: each probe ingests only the appended sample columns
+  // (bitwise identical to a from-scratch QR of the full panel), so a
+  // level's probes cost O(m d^2) total instead of O(rounds m d^2).
+  ctx_.sync(batched::kSampleStream); // Y_loc writers are FIFO on this stream
+  if (probe_level_ != level) {
+    probe_level_ = level;
+    probe_cols_ = 0;
+    probe_work_.clear();
+    probe_work_.resize(static_cast<size_t>(nodes));
+    probe_tau_.assign(static_cast<size_t>(nodes), {});
+    for (index_t i = 0; i < nodes; ++i)
+      probe_work_[static_cast<size_t>(i)].resize(ctx_.device(),
+                                                 yloc_[ul][static_cast<size_t>(i)].rows(), 0);
+  }
+  const index_t c0 = probe_cols_;
+  const index_t dn = d_total_ - c0;
+  std::vector<MatrixView> work(static_cast<size_t>(nodes));
+  std::vector<index_t> factored(static_cast<size_t>(nodes), c0);
+  for (index_t i = 0; i < nodes; ++i) {
+    const auto ui = static_cast<size_t>(i);
+    probe_work_[ui].append_cols(ctx_.device(), dn);
+    ctx_.device().copy_device(yloc_[ul][ui].view().col_range(c0, dn),
+                              probe_work_[ui].view().col_range(c0, dn));
+    work[ui] = probe_work_[ui].view();
+  }
   std::vector<real_t> mins(static_cast<size_t>(nodes));
-  batched::batched_min_r_diag(ctx_, views, mins);
+  batched::batched_min_r_diag_update(ctx_, work, factored, probe_tau_, mins);
+  probe_cols_ = d_total_;
   const real_t eps = eps_abs();
   for (index_t i = 0; i < nodes; ++i) {
     const index_t m = yloc_[ul][static_cast<size_t>(i)].rows();

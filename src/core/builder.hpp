@@ -74,6 +74,14 @@ class H2SketchBuilder {
   /// Permuted position lists of each leaf cluster (iota over its range).
   std::vector<std::vector<index_t>> leaf_positions_;
 
+  /// Incremental convergence-probe state, valid for probe_level_ only: per
+  /// node a copy of Y_loc whose first probe_cols_ columns hold their
+  /// Householder factorization in place (scalars in probe_tau_).
+  index_t probe_level_ = -1;
+  index_t probe_cols_ = 0;
+  std::vector<backend::DeviceMatrix> probe_work_;
+  std::vector<std::vector<real_t>> probe_tau_;
+
   friend class BuilderTestPeer;
 };
 

@@ -275,4 +275,15 @@ ConstructionResult construct_h2(std::shared_ptr<const tree::ClusterTree> tree,
   return construct_h2(std::move(tree), adm, sampler, gen, opts, ctx);
 }
 
+ConstructionResult construct_h2(std::shared_ptr<const tree::ClusterTree> tree,
+                                const tree::Admissibility& adm,
+                                const kern::KernelFunction& kernel, const ConstructionOptions& opts,
+                                kern::SamplerKind kind, kern::ProxySamplerOptions proxy_opts) {
+  if (proxy_opts.tol <= 0) proxy_opts.tol = opts.tol;
+  const kern::KernelEntryGenerator gen(*tree, kernel);
+  auto sampler =
+      kern::make_kernel_sampler(kern::sampler_kind_from_env(kind), tree, kernel, proxy_opts);
+  return construct_h2(std::move(tree), adm, *sampler, gen, opts);
+}
+
 } // namespace h2sketch::core

@@ -7,6 +7,7 @@
 #include "core/stats.hpp"
 #include "h2/h2_matrix.hpp"
 #include "kernels/entry_gen.hpp"
+#include "kernels/proxy_sampler.hpp"
 #include "kernels/sampler.hpp"
 
 /// \file construction.hpp
@@ -49,5 +50,16 @@ ConstructionResult construct_h2(std::shared_ptr<const tree::ClusterTree> tree,
 ConstructionResult construct_h2(std::shared_ptr<const tree::ClusterTree> tree,
                                 const tree::Admissibility& adm, kern::MatVecSampler& sampler,
                                 const kern::EntryGenerator& gen, const ConstructionOptions& opts);
+
+/// Kernel-matrix entry point with selectable sampling: instantiates the
+/// entry generator and a sampler of the requested kind internally
+/// (H2SKETCH_SAMPLER=exact|proxy overrides `kind`). Exact is the O(N^2 d)
+/// oracle; Proxy evaluates sketches at O(N d) through a proxy-point
+/// surrogate. proxy_opts.tol <= 0 inherits opts.tol.
+ConstructionResult construct_h2(std::shared_ptr<const tree::ClusterTree> tree,
+                                const tree::Admissibility& adm,
+                                const kern::KernelFunction& kernel, const ConstructionOptions& opts,
+                                kern::SamplerKind kind = kern::SamplerKind::Exact,
+                                kern::ProxySamplerOptions proxy_opts = {});
 
 } // namespace h2sketch::core

@@ -45,6 +45,16 @@ real_t BoundingBox::distance(const BoundingBox& other) const {
   return std::sqrt(s);
 }
 
+real_t BoundingBox::max_corner_distance(const real_t* c) const {
+  real_t s = 0.0;
+  for (index_t d = 0; d < dim; ++d) {
+    const real_t e = std::max(std::abs(c[d] - lo[static_cast<size_t>(d)]),
+                              std::abs(c[d] - hi[static_cast<size_t>(d)]));
+    s += e * e;
+  }
+  return std::sqrt(s);
+}
+
 index_t BoundingBox::widest_dim() const {
   index_t best = 0;
   real_t w = -1.0;

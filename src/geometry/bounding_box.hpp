@@ -27,6 +27,15 @@ struct BoundingBox {
   /// Euclidean gap between two boxes (0 if they intersect): Dist in Eq. (1).
   real_t distance(const BoundingBox& other) const;
 
+  /// Midpoint along dimension d (0 for unused dimensions).
+  real_t center(index_t d) const {
+    return 0.5 * (lo[static_cast<size_t>(d)] + hi[static_cast<size_t>(d)]);
+  }
+
+  /// Largest Euclidean distance from point c (length dim) to any corner of
+  /// the box: the radius of a ball around c guaranteed to contain the box.
+  real_t max_corner_distance(const real_t* c) const;
+
   /// Index of the widest dimension (KD-tree split axis).
   index_t widest_dim() const;
 

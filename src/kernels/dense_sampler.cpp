@@ -18,24 +18,30 @@ void DenseMatrixSampler::sample(ConstMatrixView omega, MatrixView y) {
   record_samples(omega.cols);
 }
 
+KernelMatVecSampler::KernelMatVecSampler(const tree::ClusterTree& tree,
+                                         const KernelFunction& kernel)
+    : gen_(tree, kernel), n_(tree.num_points()), iota_(static_cast<size_t>(n_)) {
+  std::iota(iota_.begin(), iota_.end(), index_t{0});
+}
+
 void KernelMatVecSampler::sample(ConstMatrixView omega, MatrixView y) {
   H2S_CHECK(omega.rows == n_ && y.rows == n_ && omega.cols == y.cols,
             "KernelMatVecSampler: shape mismatch");
-  // Evaluate one block-row strip at a time to bound extra memory.
+  // Evaluate one block-row strip at a time to bound extra memory. Row and
+  // column index sets are sub-spans of the precomputed iota_.
   const index_t strip = 256;
-  std::vector<index_t> all_cols(static_cast<size_t>(n_));
-  std::iota(all_cols.begin(), all_cols.end(), index_t{0});
+  const const_index_span all_cols(iota_);
   const index_t num_strips = (n_ + strip - 1) / strip;
 
   if (runtime_mode() == RuntimeMode::FlatOpenMP || ThreadPool::global().width() <= 1) {
-    // Baseline / single-lane path: serial strip loop, one reused buffer.
-    Matrix row_block(strip, n_);
+    // Baseline / single-lane path: serial strip loop, one reused buffer
+    // sized to the widest strip actually taken.
+    Matrix row_block(std::min(strip, n_), n_);
     for (index_t r0 = 0; r0 < n_; r0 += strip) {
       const index_t m = std::min(strip, n_ - r0);
-      std::vector<index_t> rows(static_cast<size_t>(m));
-      std::iota(rows.begin(), rows.end(), r0);
       MatrixView rb = row_block.view().block(0, 0, m, n_);
-      gen_.generate_block(rows, all_cols, rb);
+      gen_.generate_block(all_cols.subspan(static_cast<size_t>(r0), static_cast<size_t>(m)),
+                          all_cols, rb);
       la::gemm(1.0, rb, la::Op::None, omega, la::Op::None, 0.0, y.row_range(r0, m));
     }
   } else {
@@ -46,14 +52,13 @@ void KernelMatVecSampler::sample(ConstMatrixView omega, MatrixView y) {
     ThreadPool::global().parallel_for(num_strips, [&](index_t s) {
       const index_t r0 = s * strip;
       const index_t m = std::min(strip, n_ - r0);
-      std::vector<index_t> rows(static_cast<size_t>(m));
-      std::iota(rows.begin(), rows.end(), r0);
       // Uninitialized scratch: generate_block overwrites every entry, and a
       // zeroing Matrix here would memset strip*N doubles per strip per
       // round — measurable against the generation itself.
       std::unique_ptr<real_t[]> buf(new real_t[static_cast<size_t>(m) * static_cast<size_t>(n_)]);
       MatrixView rb(buf.get(), m, n_, m);
-      gen_.generate_block(rows, all_cols, rb);
+      gen_.generate_block(all_cols.subspan(static_cast<size_t>(r0), static_cast<size_t>(m)),
+                          all_cols, rb);
       la::gemm(1.0, rb, la::Op::None, omega, la::Op::None, 0.0, y.row_range(r0, m));
     });
   }

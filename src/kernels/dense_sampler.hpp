@@ -30,8 +30,7 @@ class DenseMatrixSampler final : public MatVecSampler {
 /// memory. Useful as an exact oracle at sizes where storing K is wasteful.
 class KernelMatVecSampler final : public MatVecSampler {
  public:
-  KernelMatVecSampler(const tree::ClusterTree& tree, const KernelFunction& kernel)
-      : gen_(tree, kernel), n_(tree.num_points()) {}
+  KernelMatVecSampler(const tree::ClusterTree& tree, const KernelFunction& kernel);
 
   index_t size() const override { return n_; }
   void sample(ConstMatrixView omega, MatrixView y) override;
@@ -39,6 +38,9 @@ class KernelMatVecSampler final : public MatVecSampler {
  private:
   KernelEntryGenerator gen_;
   index_t n_;
+  /// 0..n_-1, built once: the full span is the column set of every strip and
+  /// sub-spans of it are the row sets, so no strip rebuilds an iota vector.
+  std::vector<index_t> iota_;
 };
 
 } // namespace h2sketch::kern

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <memory>
+
+#include "batched/device.hpp"
+#include "h2/h2_matrix.hpp"
+#include "kernels/kernel.hpp"
+#include "kernels/sampler.hpp"
+
+/// \file proxy_sampler.hpp
+/// Proxy-point sketching operator: an O(N)-per-column replacement for the
+/// O(N^2)-per-column exact samplers (`DenseMatrixSampler`,
+/// `KernelMatVecSampler`) feeding Algorithm 1.
+///
+/// At setup, a deterministic surrogate H2 representation K~ of the kernel
+/// matrix is built without ever sampling K: per cluster-tree node, proxy
+/// points are laid out on concentric shells of an annulus enclosing the node
+/// (inner radius just inside the admissibility gap of Eq. (1), outer radius
+/// covering the domain — the proxy-surface idea of H2Pack and nested cross
+/// approximation), the kernel-to-proxy panel K(I, P) is generated through
+/// the batched entry generator on ExecutionContext streams, and a batched
+/// row ID of the panel yields the node basis and skeleton. Transfers nest
+/// through stacked child skeletons exactly as in the sketching construction;
+/// coupling and near-field blocks are exact kernel entries. `sample` then
+/// evaluates Y = K~ * Omega through the O(N) H2 matvec: near field exact,
+/// far field proxy-compressed.
+///
+/// The surrogate is an approximation, so the construction driven by it
+/// inherits its error floor — the exact samplers remain the oracle; the
+/// accuracy contract is validated by the proxy-vs-exact agreement suite.
+
+namespace h2sketch::kern {
+
+/// Geometry/compression knobs for the surrogate build.
+struct ProxySamplerOptions {
+  /// Surrogate compression tolerance. <= 0 means "inherit": the kernel-
+  /// convenience construction entry points substitute their own tol; a
+  /// standalone ProxyMatVecSampler falls back to 1e-6.
+  real_t tol = 0.0;
+
+  /// Admissibility parameter of the *surrogate's* block structure (always
+  /// the general condition — proxy surfaces require separated far fields,
+  /// so even an HSS outer build sketches a strongly-admissible surrogate).
+  /// 1.0 balances the uncompressed near field (the dominant sample() cost:
+  /// at 0.7 a 2D leaf keeps ~28 near neighbors vs ~12 at 1.0, tripling the
+  /// matvec) against proxy rank; beyond ~1.4 the closer annuli push the
+  /// surrogate error past the tolerance scale and the adaptive loop pays
+  /// it back in extra sample rounds.
+  real_t eta = 1.0;
+
+  /// Proxy points per shell; 0 derives it from tol and dimension
+  /// (3D: 6 q^2 points on a Fibonacci sphere with q = ceil(-log10 tol)
+  /// clamped to [4, 10]; 2D: max(8 q, 24) on a circle; 1D: 2).
+  index_t points_per_shell = 0;
+
+  /// Concentric shells per node between the inner annulus radius and the
+  /// enclosing-domain radius. Three shells hold the surrogate error at the
+  /// tolerance scale; two halve the setup cost at ~10x the error.
+  index_t num_shells = 3;
+
+  /// Inner shell radius = node half-diameter + this fraction of the
+  /// admissibility gap diameter/eta; < 1 keeps the first shell strictly
+  /// inside the buffer zone no admissible source can enter.
+  real_t inner_gap_fraction = 0.5;
+
+  /// Rank cap per node ID (-1 unbounded).
+  index_t max_rank = -1;
+
+  /// Multiplier on the ID truncation threshold, mirroring
+  /// ConstructionOptions::id_tol_factor. The default leaves headroom below
+  /// tol so per-level ID truncation does not accumulate past it.
+  real_t id_tol_factor = 0.1;
+};
+
+/// Black-box sampler whose sample() costs O(N d) instead of O(N^2 d).
+class ProxyMatVecSampler final : public MatVecSampler {
+ public:
+  /// Build the surrogate under an internal batched context. The tree and
+  /// kernel must outlive the sampler.
+  ProxyMatVecSampler(std::shared_ptr<const tree::ClusterTree> tree, const KernelFunction& kernel,
+                     const ProxySamplerOptions& opts = {});
+
+  /// Build the surrogate under the caller's context (sampling still runs on
+  /// the sampler's own context, like H2Sampler).
+  ProxyMatVecSampler(std::shared_ptr<const tree::ClusterTree> tree, const KernelFunction& kernel,
+                     const ProxySamplerOptions& opts, batched::ExecutionContext& build_ctx);
+
+  index_t size() const override;
+  void sample(ConstMatrixView omega, MatrixView y) override;
+
+  /// The surrogate operator (inspection/tests).
+  const h2::H2Matrix& surrogate() const { return surrogate_; }
+
+  /// Setup cost accounting.
+  double build_seconds() const { return build_seconds_; }
+  index_t proxy_points_used() const { return proxy_points_; }
+  index_t entries_generated() const { return entries_generated_; }
+
+ private:
+  void build(const KernelFunction& kernel, ProxySamplerOptions opts,
+             batched::ExecutionContext& ctx);
+
+  std::shared_ptr<const tree::ClusterTree> tree_;
+  h2::H2Matrix surrogate_;
+  batched::ExecutionContext ctx_; ///< matvec context for sample()
+  double build_seconds_ = 0.0;
+  index_t proxy_points_ = 0;
+  index_t entries_generated_ = 0;
+};
+
+/// Which sampler the kernel-convenience construction entry points build.
+enum class SamplerKind {
+  Exact, ///< KernelMatVecSampler: O(N^2 d), the oracle
+  Proxy  ///< ProxyMatVecSampler: O(N d) via the surrogate
+};
+
+/// Sampler selection from the environment: H2SKETCH_SAMPLER = "exact" or
+/// "proxy" overrides `fallback`; unset or unrecognized keeps it.
+SamplerKind sampler_kind_from_env(SamplerKind fallback = SamplerKind::Exact);
+
+/// Factory for a kernel-matrix sampler of the requested kind. `proxy_opts`
+/// is consulted only for SamplerKind::Proxy.
+std::unique_ptr<MatVecSampler> make_kernel_sampler(
+    SamplerKind kind, std::shared_ptr<const tree::ClusterTree> tree, const KernelFunction& kernel,
+    const ProxySamplerOptions& proxy_opts = {});
+
+} // namespace h2sketch::kern

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+
 #include "common/matrix.hpp"
 
 /// \file sampler.hpp
@@ -21,13 +23,15 @@ class MatVecSampler {
   virtual void sample(ConstMatrixView omega, MatrixView y) = 0;
 
   /// Total random vectors pushed through the operator so far — the
-  /// "total samples" statistic the paper annotates in Fig. 5.
-  index_t samples_taken() const { return samples_; }
-  void reset_sample_count() { samples_ = 0; }
+  /// "total samples" statistic the paper annotates in Fig. 5. Thread-safe:
+  /// samplers are invoked from stream launches and pool workers, so
+  /// concurrent sketch rounds may record at once.
+  index_t samples_taken() const { return samples_.load(std::memory_order_relaxed); }
+  void reset_sample_count() { samples_.store(0, std::memory_order_relaxed); }
 
  protected:
-  void record_samples(index_t d) { samples_ += d; }
-  index_t samples_ = 0;
+  void record_samples(index_t d) { samples_.fetch_add(d, std::memory_order_relaxed); }
+  std::atomic<index_t> samples_{0};
 };
 
 } // namespace h2sketch::kern

@@ -50,6 +50,22 @@ void householder_qr(MatrixView a, std::vector<real_t>& tau) {
   }
 }
 
+void householder_qr_continue(MatrixView a, std::vector<real_t>& tau, index_t from) {
+  const index_t kmax = std::min(a.rows, a.cols);
+  const index_t kdone = std::min(from, kmax);
+  H2S_CHECK(from <= a.cols && static_cast<index_t>(tau.size()) == kdone,
+            "householder_qr_continue: tau does not match the factored prefix");
+  if (from >= a.cols) return;
+  // Replay H_0..H_{kdone-1} on the appended columns in factorization order —
+  // exactly the updates a full QR would have applied to them.
+  for (index_t t = 0; t < kdone; ++t) apply_reflector(a, t, tau[static_cast<size_t>(t)], from);
+  tau.resize(static_cast<size_t>(kmax), 0.0);
+  for (index_t k = kdone; k < kmax; ++k) {
+    tau[static_cast<size_t>(k)] = make_reflector(a.data + k + k * a.ld, a.rows - k);
+    apply_reflector(a, k, tau[static_cast<size_t>(k)], k + 1);
+  }
+}
+
 void apply_q_transpose(ConstMatrixView qr, const std::vector<real_t>& tau, MatrixView b) {
   H2S_CHECK(b.rows == qr.rows, "apply_q_transpose: shape mismatch");
   const index_t k = static_cast<index_t>(tau.size());

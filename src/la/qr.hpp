@@ -17,6 +17,15 @@ namespace h2sketch::la {
 /// vectors (v(0) = 1 implicit); tau holds the reflector scalars.
 void householder_qr(MatrixView a, std::vector<real_t>& tau);
 
+/// Continue an unpivoted Householder QR after columns were appended: the
+/// first `from` columns of A (and tau, with tau.size() == min(from, rows))
+/// already hold householder_qr output; the remaining columns hold fresh
+/// data. Replays the existing reflectors on the appended columns, then
+/// extends the factorization in place, growing tau. The result — R diagonal
+/// included — is bitwise identical to householder_qr of the full matrix,
+/// because each appended column sees the same reflectors in the same order.
+void householder_qr_continue(MatrixView a, std::vector<real_t>& tau, index_t from);
+
 /// Apply Q^T (from householder_qr of `qr`) to B in place: B := Q^T B.
 void apply_q_transpose(ConstMatrixView qr, const std::vector<real_t>& tau, MatrixView b);
 

@@ -398,12 +398,35 @@ class HssBuilder {
     PhaseScope scope(stats_.phases, Phase::Convergence);
     const index_t nodes = tree_->nodes_at(level);
     const auto ul = static_cast<size_t>(level);
-    std::vector<ConstMatrixView> views;
-    views.reserve(static_cast<size_t>(nodes));
-    for (index_t i = 0; i < nodes; ++i)
-      views.push_back(yloc_[ul][static_cast<size_t>(i)].view());
+    // Probe on a working copy of Y_loc whose factorization persists across
+    // adaptive rounds: each probe ingests only the appended sample columns
+    // (bitwise identical to a from-scratch QR of the full panel), so a
+    // level's probes cost O(m d^2) total instead of O(rounds m d^2).
+    ctx_.sync(batched::kSampleStream); // Y_loc writers are FIFO on this stream
+    if (probe_level_ != level) {
+      probe_level_ = level;
+      probe_cols_ = 0;
+      probe_work_.clear();
+      probe_work_.resize(static_cast<size_t>(nodes));
+      probe_tau_.assign(static_cast<size_t>(nodes), {});
+      for (index_t i = 0; i < nodes; ++i)
+        probe_work_[static_cast<size_t>(i)].resize(ctx_.device(),
+                                                   yloc_[ul][static_cast<size_t>(i)].rows(), 0);
+    }
+    const index_t c0 = probe_cols_;
+    const index_t dn = d_total_ - c0;
+    std::vector<MatrixView> work(static_cast<size_t>(nodes));
+    std::vector<index_t> factored(static_cast<size_t>(nodes), c0);
+    for (index_t i = 0; i < nodes; ++i) {
+      const auto ui = static_cast<size_t>(i);
+      probe_work_[ui].append_cols(ctx_.device(), dn);
+      ctx_.device().copy_device(yloc_[ul][ui].view().col_range(c0, dn),
+                                probe_work_[ui].view().col_range(c0, dn));
+      work[ui] = probe_work_[ui].view();
+    }
     std::vector<real_t> mins(static_cast<size_t>(nodes));
-    batched::batched_min_r_diag(ctx_, views, mins);
+    batched::batched_min_r_diag_update(ctx_, work, factored, probe_tau_, mins);
+    probe_cols_ = d_total_;
     const real_t eps = eps_abs();
     for (index_t i = 0; i < nodes; ++i) {
       const index_t m = yloc_[ul][static_cast<size_t>(i)].rows();
@@ -466,6 +489,14 @@ class HssBuilder {
   std::vector<std::vector<backend::DeviceMatrix>> y_up_, omega_up_;
   std::vector<std::vector<std::vector<index_t>>> jlocal_;
   std::vector<std::vector<index_t>> leaf_positions_;
+
+  // Incremental convergence-probe state, valid for probe_level_ only: per
+  // node a copy of Y_loc whose first probe_cols_ columns hold their
+  // Householder factorization in place (scalars in probe_tau_).
+  index_t probe_level_ = -1;
+  index_t probe_cols_ = 0;
+  std::vector<backend::DeviceMatrix> probe_work_;
+  std::vector<std::vector<real_t>> probe_tau_;
 };
 
 } // namespace
@@ -481,6 +512,16 @@ HssResult build_hss(std::shared_ptr<const tree::ClusterTree> tree, kern::MatVecS
                     const kern::EntryGenerator& gen, const core::ConstructionOptions& opts) {
   batched::ExecutionContext ctx(batched::Backend::Batched);
   return build_hss(std::move(tree), sampler, gen, opts, ctx);
+}
+
+HssResult build_hss(std::shared_ptr<const tree::ClusterTree> tree,
+                    const kern::KernelFunction& kernel, const core::ConstructionOptions& opts,
+                    kern::SamplerKind kind, kern::ProxySamplerOptions proxy_opts) {
+  if (proxy_opts.tol <= 0) proxy_opts.tol = opts.tol;
+  const kern::KernelEntryGenerator gen(*tree, kernel);
+  auto sampler =
+      kern::make_kernel_sampler(kern::sampler_kind_from_env(kind), tree, kernel, proxy_opts);
+  return build_hss(std::move(tree), *sampler, gen, opts);
 }
 
 } // namespace h2sketch::solver

@@ -6,6 +6,7 @@
 #include "core/config.hpp"
 #include "core/stats.hpp"
 #include "kernels/entry_gen.hpp"
+#include "kernels/proxy_sampler.hpp"
 #include "kernels/sampler.hpp"
 #include "solver/hss_matrix.hpp"
 
@@ -45,5 +46,16 @@ HssResult build_hss(std::shared_ptr<const tree::ClusterTree> tree, kern::MatVecS
 /// Convenience overload with an internal Batched context.
 HssResult build_hss(std::shared_ptr<const tree::ClusterTree> tree, kern::MatVecSampler& sampler,
                     const kern::EntryGenerator& gen, const core::ConstructionOptions& opts);
+
+/// Kernel-matrix entry point with selectable sampling: instantiates the
+/// entry generator and a sampler of the requested kind internally
+/// (H2SKETCH_SAMPLER=exact|proxy overrides `kind`). The proxy surrogate is
+/// always strongly admissible even though the HSS structure is weak — proxy
+/// surfaces need a separated far field; the HSS sketches then run against
+/// the surrogate's O(N d) matvec. proxy_opts.tol <= 0 inherits opts.tol.
+HssResult build_hss(std::shared_ptr<const tree::ClusterTree> tree,
+                    const kern::KernelFunction& kernel, const core::ConstructionOptions& opts,
+                    kern::SamplerKind kind = kern::SamplerKind::Exact,
+                    kern::ProxySamplerOptions proxy_opts = {});
 
 } // namespace h2sketch::solver

@@ -72,9 +72,11 @@ TEST(BackendRegistry, ParitySuiteCoversEveryRegisteredPrimitive) {
   // Every op this suite exercises; extending the dispatch table without
   // extending the suite fails here.
   const std::vector<backend::OpKind> covered = {
-      backend::OpKind::Gemm,      backend::OpKind::GatherRows, backend::OpKind::BsrGemm,
-      backend::OpKind::MinRDiag,  backend::OpKind::RowId,      backend::OpKind::FillGaussian,
-      backend::OpKind::Transpose, backend::OpKind::Potrf,      backend::OpKind::TrsmLower,
+      backend::OpKind::Gemm,          backend::OpKind::GatherRows,
+      backend::OpKind::BsrGemm,       backend::OpKind::MinRDiag,
+      backend::OpKind::MinRDiagUpdate, backend::OpKind::RowId,
+      backend::OpKind::FillGaussian,  backend::OpKind::Transpose,
+      backend::OpKind::Potrf,         backend::OpKind::TrsmLower,
       backend::OpKind::EntryGen,
   };
   for (backend::OpKind op : backend::all_ops()) {
@@ -150,6 +152,41 @@ TEST_P(RegistryBackendTest, MinRDiagMatchesSingleBitwise) {
   for (size_t i = 0; i < mats.size(); ++i)
     EXPECT_EQ(out[i], la::min_abs_r_diag(mats[i].view()));
   EXPECT_EQ(ctx_.kernel_launches(), pinned(GetParam(), 3, 1));
+}
+
+TEST_P(RegistryBackendTest, MinRDiagUpdateMatchesFullProbeBitwise) {
+  // Panels grown in three appends (including empty appends and panels wider
+  // than tall): after each ingest the incremental probe must equal the
+  // from-scratch probe of the full panel bitwise.
+  const std::vector<index_t> rows = {10, 3, 2, 5};
+  const std::vector<std::array<index_t, 3>> chunks = {{3, 4, 2}, {2, 6, 1}, {4, 3, 2}, {0, 5, 0}};
+  std::vector<Matrix> full;
+  std::vector<backend::DeviceMatrix> work(rows.size());
+  std::vector<std::vector<real_t>> tau(rows.size());
+  std::vector<index_t> ingested(rows.size(), 0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const index_t total = chunks[i][0] + chunks[i][1] + chunks[i][2];
+    full.push_back(random_matrix(rows[i], total, 40 + static_cast<index_t>(i)));
+    work[i].resize(dev(), rows[i], 0);
+  }
+  for (size_t step = 0; step < 3; ++step) {
+    std::vector<MatrixView> wv(rows.size());
+    std::vector<index_t> factored(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const index_t c0 = ingested[i], dn = chunks[i][step];
+      work[i].append_cols(dev(), dn);
+      if (dn > 0) dev().upload(full[i].view().col_range(c0, dn), work[i].view().col_range(c0, dn));
+      factored[i] = c0;
+      wv[i] = work[i].view();
+      ingested[i] = c0 + dn;
+    }
+    std::vector<real_t> out(rows.size());
+    batched_min_r_diag_update(ctx_, wv, factored, tau, out);
+    for (size_t i = 0; i < rows.size(); ++i)
+      EXPECT_EQ(out[i], la::min_abs_r_diag(full[i].view().col_range(0, ingested[i])))
+          << "panel " << i << " step " << step;
+  }
+  EXPECT_EQ(ctx_.kernel_launches(), pinned(GetParam(), 12, 3));
 }
 
 TEST_P(RegistryBackendTest, RowIdMatchesSingleBitwise) {
