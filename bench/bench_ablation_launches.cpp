@@ -63,6 +63,9 @@ int main(int argc, char** argv) {
     auto rn = core::construct_h2(w.tree, tree::Admissibility::general(eta), *w.sampler,
                                  *w.entry_gen, opts, cn);
     batched::ExecutionContext cs(backend::make_backend("simdevice"));
+    // make_backend now hands out the process-wide shared simdevice, so its
+    // stats counters accumulate across runs: report per-run deltas.
+    const auto dstats0 = cs.device().stats();
     auto rs = core::construct_h2(w.tree, tree::Admissibility::general(eta), *w.sampler,
                                  *w.entry_gen, opts, cs);
     // A d=8 matvec on the device-built matrix: the construction itself
@@ -80,9 +83,9 @@ int main(int argc, char** argv) {
     r.launches_batched = rb.stats.kernel_launches;
     r.launches_naive = rn.stats.kernel_launches;
     r.launches_simdevice = rs.stats.kernel_launches;
-    r.bytes_to_device = dstats.bytes_to_device;
-    r.bytes_to_host = dstats.bytes_to_host;
-    r.bytes_on_device = dstats.bytes_on_device;
+    r.bytes_to_device = dstats.bytes_to_device - dstats0.bytes_to_device;
+    r.bytes_to_host = dstats.bytes_to_host - dstats0.bytes_to_host;
+    r.bytes_on_device = dstats.bytes_on_device - dstats0.bytes_on_device;
     r.device_peak_bytes = dstats.peak_bytes;
     runs.push_back(r);
 

@@ -30,17 +30,35 @@ std::shared_ptr<DeviceBackend> shared_device(std::string_view name) {
   return cpu;
 }
 
+bool is_registered(std::string_view name) {
+  for (std::string_view n : kNames)
+    if (name == n) return true;
+  return false;
+}
+
+std::mutex& default_name_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// Explicit override installed by set_default_backend(); empty = read the
+/// environment on each call. Guarded by default_name_mutex().
+std::string& default_name_override() {
+  static std::string name;
+  return name;
+}
+
 } // namespace
 
 std::span<const std::string_view> registered_backends() { return kNames; }
 
 ExecutionConfig make_backend(std::string_view name) {
-  if (name == "naive") return {make_cpu_backend(), LaunchMode::Naive};
-  if (name == "cpu") return {make_cpu_backend(), LaunchMode::Batched};
-  if (name == "simdevice") return {make_sim_device(), LaunchMode::Batched};
-  H2S_CHECK(false, "unknown backend '" << std::string(name)
-                                       << "' (registered: naive, cpu, simdevice)");
-  return {};
+  // Deliberately identical to shared_backend: an operator built under one
+  // configuration and applied under a per-call convenience context must
+  // dereference buffers from the same device heap. Handing out a private
+  // SimulatedDevice here once meant the two configs addressed different
+  // mmap regions — and each convenience call leaked a whole reserved heap.
+  return shared_backend(name);
 }
 
 ExecutionConfig shared_backend(std::string_view name) {
@@ -52,18 +70,31 @@ ExecutionConfig shared_backend(std::string_view name) {
   return {};
 }
 
-const std::string& default_backend_name() {
-  static const std::string name = [] {
-    if (const char* s = std::getenv("H2SKETCH_BACKEND")) {
-      const std::string v(s);
-      for (std::string_view n : kNames)
-        if (v == n) return v;
-      H2S_CHECK(false, "H2SKETCH_BACKEND='" << v << "' is not a registered backend "
-                                            << "(naive, cpu, simdevice)");
-    }
-    return std::string("cpu");
-  }();
-  return name;
+std::string default_backend_name() {
+  {
+    std::lock_guard<std::mutex> lk(default_name_mutex());
+    if (!default_name_override().empty()) return default_name_override();
+  }
+  if (const char* s = std::getenv("H2SKETCH_BACKEND")) {
+    const std::string v(s);
+    H2S_CHECK(is_registered(v), "H2SKETCH_BACKEND='" << v << "' is not a registered backend "
+                                                     << "(naive, cpu, simdevice)");
+    return v;
+  }
+  return std::string("cpu");
+}
+
+void set_default_backend(std::string_view name) {
+  H2S_CHECK(is_registered(name), "set_default_backend('" << std::string(name)
+                                                         << "'): not a registered backend "
+                                                         << "(naive, cpu, simdevice)");
+  std::lock_guard<std::mutex> lk(default_name_mutex());
+  default_name_override() = std::string(name);
+}
+
+void reset_default_backend() {
+  std::lock_guard<std::mutex> lk(default_name_mutex());
+  default_name_override().clear();
 }
 
 ExecutionConfig default_backend() { return shared_backend(default_backend_name()); }

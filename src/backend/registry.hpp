@@ -28,8 +28,14 @@ namespace h2sketch::backend {
 /// Names of every registered backend configuration.
 std::span<const std::string_view> registered_backends();
 
-/// Create a configuration with a *fresh* device backend instance (its
-/// stats counters start at zero). Throws on unknown names.
+/// Create a configuration for `name`. Identical to `shared_backend`: every
+/// configuration is backed by the process-wide device instance, so operators
+/// built under one config and applied under another always share a device
+/// heap. (This used to hand out a fresh device per call; mixing it with
+/// `shared_backend` then dereferenced buffers from a different address
+/// space.) Throws on unknown names. Tests that need a private device with
+/// zeroed stats counters should use the device factories directly
+/// (`make_cpu_backend()`, `make_sim_device()`).
 ExecutionConfig make_backend(std::string_view name);
 
 /// Configuration backed by the process-wide shared device instance for
@@ -37,8 +43,20 @@ ExecutionConfig make_backend(std::string_view name);
 /// names.
 ExecutionConfig shared_backend(std::string_view name);
 
-/// $H2SKETCH_BACKEND, validated, defaulting to "cpu".
-const std::string& default_backend_name();
+/// The backend name default-constructed ExecutionContexts use: the
+/// `set_default_backend()` override if one is installed, else
+/// $H2SKETCH_BACKEND (validated), else "cpu". The environment is re-read on
+/// every call — nothing is frozen at first use, so tests and servers that
+/// stage the environment late are served correctly.
+std::string default_backend_name();
+
+/// Install an explicit process-wide default backend, overriding
+/// $H2SKETCH_BACKEND. Throws on unknown names. Thread-safe.
+void set_default_backend(std::string_view name);
+
+/// Remove the override installed by `set_default_backend()`; the default
+/// reverts to $H2SKETCH_BACKEND / "cpu".
+void reset_default_backend();
 
 /// shared_backend(default_backend_name()) — what a default-constructed
 /// ExecutionContext uses.

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <mutex>
+
 #include "batched/device.hpp"
 #include "h2/h2_matrix.hpp"
 #include "kernels/sampler.hpp"
@@ -30,12 +32,18 @@ class H2Sampler final : public kern::MatVecSampler {
 
   index_t size() const override { return a_->size(); }
   void sample(ConstMatrixView omega, MatrixView y) override {
+    // The embedded context (its workspace arena in particular) is mutable
+    // shared state: serialize samples so one sampler instance may be shared
+    // across threads. Callers wanting concurrency use h2_matvec directly
+    // with per-thread contexts.
+    std::lock_guard<std::mutex> lk(mu_);
     h2_matvec(ctx_, *a_, omega, y);
     record_samples(omega.cols);
   }
 
  private:
   const H2Matrix* a_;
+  std::mutex mu_;
   batched::ExecutionContext ctx_;
 };
 

@@ -1,0 +1,227 @@
+#include "serve/coalescer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <limits>
+
+#include "backend/registry.hpp"
+#include "batched/device.hpp"
+#include "common/check.hpp"
+#include "common/matrix.hpp"
+#include "common/timer.hpp"
+
+namespace h2sketch::serve {
+
+double SteadyClock::now() const { return wall_seconds(); }
+
+double ManualClock::now() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return t_;
+}
+
+void ManualClock::advance(double dt) {
+  std::lock_guard<std::mutex> lk(mu_);
+  t_ += dt;
+}
+
+void ManualClock::set(double t) {
+  std::lock_guard<std::mutex> lk(mu_);
+  t_ = t;
+}
+
+Coalescer::Coalescer(CoalescerOptions opts, std::shared_ptr<const Clock> clock)
+    : opts_(opts), clock_(clock ? std::move(clock) : std::make_shared<SteadyClock>()) {
+  H2S_CHECK(opts_.max_batch > 0, "coalescer: max_batch must be positive");
+  H2S_CHECK(opts_.queue_capacity > 0, "coalescer: queue_capacity must be positive");
+  if (!opts_.manual_pump) {
+    const int lanes = std::max(1, opts_.lanes);
+    lanes_.reserve(static_cast<size_t>(lanes));
+    for (int i = 0; i < lanes; ++i) lanes_.emplace_back([this] { lane_loop(); });
+  }
+}
+
+Coalescer::~Coalescer() { stop(); }
+
+std::future<void> Coalescer::submit(OperatorHandle op, RequestKind kind, const_real_span x,
+                                    real_span y) {
+  H2S_CHECK(op, "coalescer submit: empty operator handle");
+  const auto n = static_cast<std::size_t>(op->size());
+  H2S_CHECK(x.size() == n && y.size() == n,
+            "coalescer submit: x/y must be length " << n << " (got " << x.size() << ", "
+                                                    << y.size() << ")");
+  Request r;
+  r.kind = kind;
+  r.x = x;
+  r.y = y;
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (opts_.manual_pump) {
+    H2S_CHECK(queue_size_ < opts_.queue_capacity,
+              "coalescer submit: queue full (" << opts_.queue_capacity
+                                               << " requests) in manual_pump mode");
+  } else {
+    space_cv_.wait(lk, [&] { return queue_size_ < opts_.queue_capacity || stopping_; });
+  }
+  H2S_CHECK(!stopping_, "coalescer submit: coalescer is stopped");
+
+  r.enqueue_time = clock_->now();
+  op->metrics->requests.fetch_add(1, std::memory_order_relaxed);
+  auto fut = r.done.get_future();
+  const GroupKey key{op.id(), static_cast<int>(kind)};
+  r.op = std::move(op);
+  groups_[key].reqs.push_back(std::move(r));
+  ++queue_size_;
+  lk.unlock();
+  work_cv_.notify_one();
+  return fut;
+}
+
+std::optional<Coalescer::Batch> Coalescer::take_ready_locked(double now, bool force) {
+  auto chosen = groups_.end();
+  bool full = false;
+  for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+    if (it->second.reqs.empty()) continue;
+    if (static_cast<index_t>(it->second.reqs.size()) >= opts_.max_batch) {
+      chosen = it;
+      full = true;
+      break; // full groups take priority: they amortize best
+    }
+    if (chosen == groups_.end() &&
+        (force || now - it->second.reqs.front().enqueue_time >= opts_.max_delay_seconds))
+      chosen = it;
+  }
+  if (chosen == groups_.end()) return std::nullopt;
+
+  auto& reqs = chosen->second.reqs;
+  const auto take = std::min<std::size_t>(reqs.size(), static_cast<std::size_t>(opts_.max_batch));
+  Batch b;
+  b.kind = reqs.front().kind;
+  b.full = full;
+  b.reqs.reserve(take);
+  std::move(reqs.begin(), reqs.begin() + static_cast<std::ptrdiff_t>(take),
+            std::back_inserter(b.reqs));
+  reqs.erase(reqs.begin(), reqs.begin() + static_cast<std::ptrdiff_t>(take));
+  if (reqs.empty()) groups_.erase(chosen);
+  queue_size_ -= take;
+  return b;
+}
+
+double Coalescer::earliest_deadline_locked() const {
+  double earliest = std::numeric_limits<double>::infinity();
+  for (const auto& [key, g] : groups_) {
+    if (g.reqs.empty()) continue;
+    earliest = std::min(earliest, g.reqs.front().enqueue_time + opts_.max_delay_seconds);
+  }
+  return earliest;
+}
+
+index_t Coalescer::execute_batch(Batch batch, ContextMap& ctxs) {
+  const auto k = static_cast<index_t>(batch.reqs.size());
+  ServedOperator& op = *batch.reqs.front().op;
+  const index_t n = op.size();
+
+  auto& ctx = ctxs[op.backend];
+  if (!ctx)
+    ctx = std::make_unique<batched::ExecutionContext>(backend::shared_backend(op.backend));
+
+  try {
+    // Marshal the single-RHS payloads into one N x k block...
+    Matrix b(n, k), y(n, k);
+    for (index_t j = 0; j < k; ++j)
+      std::memcpy(b.data() + j * n, batch.reqs[static_cast<size_t>(j)].x.data(),
+                  static_cast<std::size_t>(n) * sizeof(real_t));
+
+    // ...one blocked launch for the whole tick...
+    if (batch.kind == RequestKind::Matvec)
+      op.matrix.matvec(*ctx, b.view(), y.view());
+    else
+      op.factor.solve_many(b.view(), y.view(), *ctx);
+
+    // ...and scatter back out.
+    for (index_t j = 0; j < k; ++j)
+      std::memcpy(batch.reqs[static_cast<size_t>(j)].y.data(), y.data() + j * n,
+                  static_cast<std::size_t>(n) * sizeof(real_t));
+  } catch (...) {
+    auto e = std::current_exception();
+    for (auto& r : batch.reqs) r.done.set_exception(e);
+    return k;
+  }
+
+  op.metrics->batches.fetch_add(1, std::memory_order_relaxed);
+  op.metrics->coalesced_rhs.fetch_add(static_cast<std::uint64_t>(k), std::memory_order_relaxed);
+  (batch.full ? op.metrics->flush_full : op.metrics->flush_timeout)
+      .fetch_add(1, std::memory_order_relaxed);
+  auto& kind_counter = batch.kind == RequestKind::Matvec ? op.metrics->matvecs : op.metrics->solves;
+  kind_counter.fetch_add(static_cast<std::uint64_t>(k), std::memory_order_relaxed);
+
+  const double now = clock_->now();
+  for (auto& r : batch.reqs) {
+    op.metrics->latency.record(now - r.enqueue_time);
+    r.done.set_value();
+  }
+  return k;
+}
+
+index_t Coalescer::run_ready(bool force, ContextMap& ctxs) {
+  index_t completed = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lk(mu_);
+    auto batch = take_ready_locked(clock_->now(), force);
+    lk.unlock();
+    if (!batch) break;
+    completed += execute_batch(std::move(*batch), ctxs);
+    space_cv_.notify_all();
+  }
+  return completed;
+}
+
+index_t Coalescer::pump() { return run_ready(/*force=*/false, pump_ctxs_); }
+
+index_t Coalescer::drain() { return run_ready(/*force=*/true, pump_ctxs_); }
+
+void Coalescer::lane_loop() {
+  ContextMap ctxs;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    auto batch = take_ready_locked(clock_->now(), stopping_);
+    if (batch) {
+      lk.unlock();
+      execute_batch(std::move(*batch), ctxs);
+      space_cv_.notify_all();
+      lk.lock();
+      continue;
+    }
+    if (stopping_) return; // stopping and nothing left to flush
+    const double deadline = earliest_deadline_locked();
+    if (deadline == std::numeric_limits<double>::infinity()) {
+      work_cv_.wait(lk);
+    } else {
+      // Sleep until the earliest group expires (plus a hair so the wake-up
+      // observes it expired). Steady clock and Clock::now agree in the
+      // threaded configuration.
+      const double wait_s = std::max(0.0, deadline - clock_->now()) + 50e-6;
+      work_cv_.wait_for(lk, std::chrono::duration<double>(wait_s));
+    }
+  }
+}
+
+void Coalescer::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  space_cv_.notify_all();
+  for (auto& t : lanes_)
+    if (t.joinable()) t.join();
+  lanes_.clear();
+  if (opts_.manual_pump) drain(); // flush what tests left queued
+}
+
+index_t Coalescer::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<index_t>(queue_size_);
+}
+
+} // namespace h2sketch::serve

@@ -1,0 +1,182 @@
+#include "serve/operator_cache.hpp"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "backend/registry.hpp"
+#include "batched/device.hpp"
+#include "common/check.hpp"
+#include "kernels/dense_sampler.hpp"
+#include "kernels/entry_gen.hpp"
+#include "solver/hss_construction.hpp"
+#include "tree/cluster_tree.hpp"
+
+namespace h2sketch::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) { return fnv1a(h, &v, sizeof(v)); }
+
+} // namespace
+
+std::uint64_t geometry_fingerprint(const geo::PointCloud& points, index_t leaf_size) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(points.size()));
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(points.dim()));
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(leaf_size));
+  const auto& raw = points.raw();
+  h = fnv1a(h, raw.data(), raw.size() * sizeof(real_t));
+  return h;
+}
+
+std::size_t OperatorKeyHash::operator()(const OperatorKey& k) const {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a(h, k.kernel.data(), k.kernel.size());
+  h = fnv1a_u64(h, k.geometry);
+  h = fnv1a(h, &k.tol, sizeof(k.tol));
+  h = fnv1a(h, k.backend.data(), k.backend.size());
+  return static_cast<std::size_t>(h);
+}
+
+OperatorHandle OperatorCache::acquire(const OperatorKey& key, const Builder& build) {
+  std::shared_future<EntryPtr> fut;
+  std::promise<EntryPtr> prom;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (auto it = map_.find(key); it != map_.end()) {
+      ++stats_.hits;
+      touch_locked(it->second);
+      return OperatorHandle(it->second);
+    }
+    ++stats_.misses;
+    if (auto p = pending_.find(key); p != pending_.end()) {
+      fut = p->second; // join the in-flight build instead of duplicating it
+    } else {
+      builder = true;
+      ++stats_.builds;
+      fut = prom.get_future().share();
+      pending_.emplace(key, fut);
+    }
+  }
+
+  if (!builder) {
+    EntryPtr e = fut.get(); // rethrows the builder's failure, if any
+    std::lock_guard<std::mutex> lk(mu_);
+    touch_locked(e);
+    return OperatorHandle(e);
+  }
+
+  EntryPtr entry;
+  try {
+    entry = std::make_shared<detail::CacheEntry>();
+    entry->op = build();
+    if (entry->op.bytes == 0)
+      entry->op.bytes = entry->op.matrix.memory_bytes() + entry->op.factor.memory_bytes();
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      pending_.erase(key);
+    }
+    prom.set_exception(std::current_exception());
+    throw;
+  }
+
+  OperatorHandle h(entry); // pin before the sweep: never our own victim
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    map_.emplace(key, entry);
+    stats_.bytes_cached += entry->op.bytes;
+    touch_locked(entry);
+    pending_.erase(key);
+  }
+  prom.set_value(entry);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    evict_locked();
+  }
+  return h;
+}
+
+OperatorHandle OperatorCache::find(const OperatorKey& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return OperatorHandle();
+  touch_locked(it->second);
+  return OperatorHandle(it->second);
+}
+
+void OperatorCache::evict_locked() {
+  if (budget_ == 0) return;
+  while (stats_.bytes_cached > budget_) {
+    auto victim = map_.end();
+    std::uint64_t skipped = 0;
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      if (it->second->pins.load(std::memory_order_acquire) > 0) {
+        ++skipped; // in-flight requests pin their operator: not evictable
+        continue;
+      }
+      if (victim == map_.end() || it->second->last_use < victim->second->last_use) victim = it;
+    }
+    stats_.eviction_skips += skipped;
+    if (victim == map_.end()) return; // everything resident is pinned; stay over budget
+    stats_.bytes_cached -= victim->second->op.bytes;
+    ++stats_.evictions;
+    map_.erase(victim);
+  }
+}
+
+CacheStats OperatorCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::size_t OperatorCache::bytes_cached() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_.bytes_cached;
+}
+
+OperatorKey make_operator_key(const geo::PointCloud& points, const kern::KernelFunction& kernel,
+                              const ServeBuildOptions& opts, std::string_view backend_name) {
+  OperatorKey key;
+  key.kernel = kernel.name();
+  key.geometry = geometry_fingerprint(points, opts.leaf_size);
+  key.tol = opts.construction.tol;
+  key.backend = std::string(backend_name);
+  return key;
+}
+
+ServedOperator build_served_operator(const geo::PointCloud& points,
+                                     const kern::KernelFunction& kernel,
+                                     const ServeBuildOptions& opts,
+                                     std::string_view backend_name) {
+  auto tree = std::make_shared<tree::ClusterTree>(tree::ClusterTree::build(points, opts.leaf_size));
+  kern::KernelMatVecSampler sampler(*tree, kernel);
+  kern::KernelEntryGenerator gen(*tree, kernel);
+  batched::ExecutionContext ctx(backend::shared_backend(backend_name));
+
+  ServedOperator op;
+  auto result = solver::build_hss(tree, sampler, gen, opts.construction, ctx);
+  op.tree = std::move(tree);
+  op.factor = solver::ulv_factor(result.matrix, ctx);
+  op.matrix = std::move(result.matrix);
+  op.build_stats = std::move(result.stats);
+  op.backend = std::string(backend_name);
+  op.bytes = op.matrix.memory_bytes() + op.factor.memory_bytes();
+  return op;
+}
+
+} // namespace h2sketch::serve

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+/// \file telemetry.hpp
+/// Serving-side observability: per-operator request counters plus a
+/// log-bucketed latency histogram that reports p50/p99 without storing
+/// samples. Everything here is lock-free atomics — request threads record
+/// concurrently while a reporter thread snapshots.
+
+namespace h2sketch::serve {
+
+/// Latency histogram over logarithmically spaced buckets (4 sub-buckets per
+/// octave covering ~1 ns .. ~64 s). A quantile query walks the cumulative
+/// counts and returns the geometric midpoint of the bucket holding the
+/// requested rank, so the estimate's relative error is bounded by the bucket
+/// width (2^(1/4), ~19%) regardless of how many samples were recorded —
+/// and no sample is ever stored.
+class LatencyHistogram {
+ public:
+  static constexpr int kBucketsPerOctave = 4;
+  static constexpr int kOctaves = 36; ///< 2^36 ns ~= 69 s
+  static constexpr int kBuckets = kOctaves * kBucketsPerOctave;
+
+  /// Record one latency observation (seconds). Thread-safe, lock-free.
+  void record(double seconds);
+
+  /// Total observations recorded.
+  std::uint64_t count() const;
+
+  /// Quantile estimate in seconds, q in [0, 1] (0.5 = p50, 0.99 = p99).
+  /// Returns 0 when no samples have been recorded. Thread-safe with respect
+  /// to concurrent record()s (the snapshot is per-bucket atomic).
+  double quantile(double q) const;
+
+  void reset();
+
+ private:
+  static int bucket_of(double seconds);
+  static double bucket_mid_seconds(int b);
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+};
+
+/// Plain-value snapshot of one operator's serving counters.
+struct MetricsSnapshot {
+  std::uint64_t requests = 0;      ///< requests submitted
+  std::uint64_t matvecs = 0;       ///< single-RHS matvec requests completed
+  std::uint64_t solves = 0;        ///< single-RHS solve requests completed
+  std::uint64_t batches = 0;       ///< coalesced launches issued
+  std::uint64_t coalesced_rhs = 0; ///< total RHS columns across batches
+  std::uint64_t flush_full = 0;    ///< batches flushed because max_batch was reached
+  std::uint64_t flush_timeout = 0; ///< batches flushed because max_delay expired
+  double p50_seconds = 0.0;        ///< request latency p50 (submit -> complete)
+  double p99_seconds = 0.0;        ///< request latency p99
+
+  /// Mean RHS per coalesced launch — the batching win over one-launch-per-request.
+  double mean_batch() const {
+    return batches == 0 ? 0.0 : static_cast<double>(coalesced_rhs) / static_cast<double>(batches);
+  }
+};
+
+/// Per-operator serving counters. Lives with the cache entry so every handle
+/// to an operator shares one set of counters.
+class OperatorMetrics {
+ public:
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> matvecs{0};
+  std::atomic<std::uint64_t> solves{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> coalesced_rhs{0};
+  std::atomic<std::uint64_t> flush_full{0};
+  std::atomic<std::uint64_t> flush_timeout{0};
+  LatencyHistogram latency;
+
+  MetricsSnapshot snapshot() const;
+};
+
+} // namespace h2sketch::serve

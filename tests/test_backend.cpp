@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 
 #include "backend/cpu_backend.hpp"
@@ -38,8 +39,11 @@ std::shared_ptr<SimulatedDevice> small_sim(bool poison = true) {
 }
 
 TEST(DeviceBuffer, AllocateCopyRoundTripAndStats) {
-  for (std::string_view name : {std::string_view("cpu"), std::string_view("simdevice")}) {
-    auto dev = make_backend(name).device;
+  // Fresh device instances (stats start at zero): registry configs now all
+  // share the process-wide devices, so exact-count tests use the factories.
+  const std::shared_ptr<DeviceBackend> devices[] = {make_cpu_backend(), small_sim(false)};
+  for (const auto& dev : devices) {
+    const std::string_view name = dev->name();
     const std::size_t n = 1000;
     DeviceBuffer buf = dev->allocate(n * sizeof(real_t));
     ASSERT_FALSE(buf.empty());
@@ -294,6 +298,67 @@ TEST(BackendParity, HssMatvecIsBitwiseIdenticalAndMatchesDensify) {
   EXPECT_EQ(max_abs_diff(y_cpu.view(), y_sim.view()), 0.0);
   EXPECT_EQ(c1.kernel_launches(), c2.kernel_launches());
   EXPECT_LT(test_util::rel_fro_error(y_cpu.view(), y_ref.view()), test_util::kMatvecRelTol);
+}
+
+TEST(Registry, MakeBackendSharesTheProcessWideDevice) {
+  // Regression: make_backend("simdevice") used to construct a private
+  // SimulatedDevice heap per call while shared_backend returned the
+  // process-wide one — an operator built under one and applied under the
+  // other dereferenced buffers from a different address space.
+  for (std::string_view name : registered_backends()) {
+    EXPECT_EQ(make_backend(name).device.get(), shared_backend(name).device.get()) << name;
+    EXPECT_EQ(make_backend(name).device.get(), make_backend(name).device.get()) << name;
+  }
+}
+
+TEST(Registry, OperatorBuiltSharedAppliesUnderMakeBackend) {
+  // Build + factor under shared_backend("simdevice"), then matvec and solve
+  // through a make_backend("simdevice") convenience context: same device
+  // heap, so both must work and agree bitwise with the build context.
+  auto tr = test_util::build_cube_tree(128, 2, 17, 16);
+  kern::ExponentialKernel base(0.3);
+  kern::RidgeKernel k(base, 1.0);
+  const Matrix kd = dense_kernel_matrix(*tr, k);
+  core::ConstructionOptions opts;
+  opts.tol = 1e-8;
+  opts.sample_block = 16;
+  opts.initial_samples = 32;
+  batched::ExecutionContext build_ctx(shared_backend("simdevice"));
+  kern::DenseMatrixSampler sampler(kd.view());
+  kern::KernelEntryGenerator gen(*tr, k);
+  auto res = solver::build_hss(tr, sampler, gen, opts, build_ctx);
+  auto f = solver::ulv_factor(res.matrix, build_ctx);
+
+  const index_t n = res.matrix.size();
+  const Matrix x = random_matrix(n, 2, 31);
+  Matrix y_build(n, 2), y_conv(n, 2);
+  res.matrix.matvec(build_ctx, x.view(), y_build.view());
+  batched::ExecutionContext conv_ctx(make_backend("simdevice"));
+  res.matrix.matvec(conv_ctx, x.view(), y_conv.view());
+  EXPECT_EQ(max_abs_diff(y_build.view(), y_conv.view()), 0.0);
+
+  const std::vector<real_t> b = test_util::random_vector(tr->num_points(), 13);
+  std::vector<real_t> s_build(b.size(), 0.0), s_conv(b.size(), 0.0);
+  f.solve(b, s_build, build_ctx);
+  f.solve(b, s_conv, conv_ctx); // used to throw: foreign device heap
+  for (size_t i = 0; i < b.size(); ++i) EXPECT_EQ(s_build[i], s_conv[i]) << "entry " << i;
+}
+
+TEST(Registry, DefaultBackendOverrideAndReset) {
+  // The default is no longer frozen at first call: an explicit override
+  // wins, and resetting reverts to the environment.
+  const std::string before = default_backend_name();
+  set_default_backend("naive");
+  EXPECT_EQ(default_backend_name(), "naive");
+  EXPECT_EQ(default_backend().mode, LaunchMode::Naive);
+  set_default_backend("cpu"); // override replaces override
+  EXPECT_EQ(default_backend_name(), "cpu");
+  reset_default_backend();
+  EXPECT_EQ(default_backend_name(), before);
+  const char* env = std::getenv("H2SKETCH_BACKEND");
+  EXPECT_EQ(default_backend_name(), env != nullptr ? std::string(env) : std::string("cpu"));
+  EXPECT_THROW(set_default_backend("warpdrive"), std::runtime_error);
+  EXPECT_EQ(default_backend_name(), before); // failed override changes nothing
 }
 
 } // namespace
