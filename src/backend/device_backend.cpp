@@ -68,6 +68,7 @@ DeviceBuffer DeviceBackend::allocate(std::size_t bytes) {
 
 void DeviceBackend::copy_to_device(void* dst_dev, const void* src_host, std::size_t bytes) {
   if (bytes == 0) return;
+  on_transfer(bytes);
   bytes_to_device_.fetch_add(bytes, std::memory_order_relaxed);
   KernelScope ks(this);
   std::memcpy(dst_dev, src_host, bytes);
@@ -75,6 +76,7 @@ void DeviceBackend::copy_to_device(void* dst_dev, const void* src_host, std::siz
 
 void DeviceBackend::copy_to_host(void* dst_host, const void* src_dev, std::size_t bytes) {
   if (bytes == 0) return;
+  on_transfer(bytes);
   bytes_to_host_.fetch_add(bytes, std::memory_order_relaxed);
   KernelScope ks(this);
   std::memcpy(dst_host, src_dev, bytes);
@@ -82,6 +84,7 @@ void DeviceBackend::copy_to_host(void* dst_host, const void* src_dev, std::size_
 
 void DeviceBackend::copy_on_device(void* dst_dev, const void* src_dev, std::size_t bytes) {
   if (bytes == 0) return;
+  on_transfer(bytes);
   bytes_on_device_.fetch_add(bytes, std::memory_order_relaxed);
   KernelScope ks(this);
   std::memcpy(dst_dev, src_dev, bytes);
@@ -89,6 +92,7 @@ void DeviceBackend::copy_on_device(void* dst_dev, const void* src_dev, std::size
 
 void DeviceBackend::fill_zero(void* dst_dev, std::size_t bytes) {
   if (bytes == 0) return;
+  on_transfer(bytes);
   bytes_on_device_.fetch_add(bytes, std::memory_order_relaxed);
   KernelScope ks(this);
   std::memset(dst_dev, 0, bytes);
@@ -117,6 +121,7 @@ std::size_t view_bytes(ConstMatrixView v) {
 
 void DeviceBackend::upload(ConstMatrixView host, MatrixView dev) {
   if (host.empty()) return;
+  on_transfer(view_bytes(host));
   bytes_to_device_.fetch_add(view_bytes(host), std::memory_order_relaxed);
   KernelScope ks(this);
   copy_columns(host, dev);
@@ -124,6 +129,7 @@ void DeviceBackend::upload(ConstMatrixView host, MatrixView dev) {
 
 void DeviceBackend::download(ConstMatrixView dev, MatrixView host) {
   if (dev.empty()) return;
+  on_transfer(view_bytes(dev));
   bytes_to_host_.fetch_add(view_bytes(dev), std::memory_order_relaxed);
   KernelScope ks(this);
   copy_columns(dev, host);
@@ -131,6 +137,7 @@ void DeviceBackend::download(ConstMatrixView dev, MatrixView host) {
 
 void DeviceBackend::copy_device(ConstMatrixView src, MatrixView dst) {
   if (src.empty()) return;
+  on_transfer(view_bytes(src));
   bytes_on_device_.fetch_add(view_bytes(src), std::memory_order_relaxed);
   KernelScope ks(this);
   copy_columns(src, dst);
@@ -138,6 +145,7 @@ void DeviceBackend::copy_device(ConstMatrixView src, MatrixView dst) {
 
 void DeviceBackend::fill_zero(MatrixView dev) {
   if (dev.empty()) return;
+  on_transfer(view_bytes(dev));
   bytes_on_device_.fetch_add(view_bytes(dev), std::memory_order_relaxed);
   KernelScope ks(this);
   const std::size_t col_bytes = static_cast<std::size_t>(dev.rows) * sizeof(real_t);

@@ -173,6 +173,14 @@ class DeviceBackend : public std::enable_shared_from_this<DeviceBackend> {
   /// must marshal through explicit copies).
   virtual bool is_device() const = 0;
 
+  /// The backend whose heap this backend's allocations physically live in.
+  /// Identity for concrete backends; decorators (FaultInjectingDevice)
+  /// forward to the wrapped backend, so affinity checks ("may this context
+  /// touch these panels?") compare memory owners instead of raw backend
+  /// pointers — a factor built through a decorator stays solvable through
+  /// the undecorated base (the graceful-degradation path).
+  virtual const DeviceBackend* memory_owner() const { return this; }
+
   // --- memory model -------------------------------------------------------
 
   /// Allocate `bytes` of device memory (64-byte aligned).
@@ -263,6 +271,23 @@ class DeviceBackend : public std::enable_shared_from_this<DeviceBackend> {
   // above add stats accounting (and, via kernel scopes, poisoning).
   virtual void* do_allocate(std::size_t bytes) = 0;
   virtual void do_deallocate(void* ptr, std::size_t bytes) = 0;
+
+  /// Called by every public copy/fill entry point before the transfer runs
+  /// — the injection point a decorator overrides to simulate failed
+  /// cudaMemcpy/cudaMemset calls. No-op by default.
+  virtual void on_transfer(std::size_t bytes) const { (void)bytes; }
+
+  // Protected-member passthroughs for decorator backends: a sibling
+  // subclass cannot call another instance's protected virtuals directly,
+  // but any DeviceBackend subclass can route through these statics.
+  static void* forward_allocate(DeviceBackend& b, std::size_t bytes) {
+    return b.do_allocate(bytes);
+  }
+  static void forward_deallocate(DeviceBackend& b, void* ptr, std::size_t bytes) {
+    b.do_deallocate(ptr, bytes);
+  }
+  static void forward_kernel_enter(const DeviceBackend& b) { b.kernel_enter(); }
+  static void forward_kernel_exit(const DeviceBackend& b) { b.kernel_exit(); }
 
   friend class KernelScope;
   friend class DeviceBuffer;

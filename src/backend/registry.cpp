@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "backend/cpu_backend.hpp"
+#include "backend/fault_injection.hpp"
 #include "backend/sim_device.hpp"
 #include "common/check.hpp"
 
@@ -12,21 +13,31 @@ namespace h2sketch::backend {
 
 namespace {
 
-constexpr std::array<std::string_view, 3> kNames = {"naive", "cpu", "simdevice"};
+constexpr std::array<std::string_view, 5> kNames = {"naive", "cpu", "simdevice", "faulty-cpu",
+                                                    "faulty-simdevice"};
 
 std::shared_ptr<DeviceBackend> shared_device(std::string_view name) {
   // One device instance per kind for the whole process: contexts created
   // per call (convenience overloads, samplers) must share the device heap,
   // and mixing construction-time and solve-time contexts must see the same
-  // address space.
+  // address space. The faulty-* wrappers are likewise singletons, wrapping
+  // the shared base device — their allocations live in the base heap, so a
+  // degraded retry on the base config can touch them.
   static std::mutex mu;
   static std::shared_ptr<DeviceBackend> cpu, sim;
+  static std::shared_ptr<FaultInjectingDevice> faulty_cpu, faulty_sim;
   std::lock_guard<std::mutex> lk(mu);
-  if (name == "simdevice") {
+  if (name == "simdevice" || name == "faulty-simdevice") {
     if (!sim) sim = make_sim_device();
-    return sim;
+    if (name == "simdevice") return sim;
+    if (!faulty_sim) faulty_sim = make_fault_injecting_device(sim, "faulty-simdevice");
+    return faulty_sim;
   }
   if (!cpu) cpu = make_cpu_backend();
+  if (name == "faulty-cpu") {
+    if (!faulty_cpu) faulty_cpu = make_fault_injecting_device(cpu, "faulty-cpu");
+    return faulty_cpu;
+  }
   return cpu;
 }
 
@@ -63,10 +74,9 @@ ExecutionConfig make_backend(std::string_view name) {
 
 ExecutionConfig shared_backend(std::string_view name) {
   if (name == "naive") return {shared_device("cpu"), LaunchMode::Naive};
-  if (name == "cpu") return {shared_device("cpu"), LaunchMode::Batched};
-  if (name == "simdevice") return {shared_device("simdevice"), LaunchMode::Batched};
-  H2S_CHECK(false, "unknown backend '" << std::string(name)
-                                       << "' (registered: naive, cpu, simdevice)");
+  if (is_registered(name)) return {shared_device(name), LaunchMode::Batched};
+  H2S_CHECK(false, "unknown backend '" << std::string(name) << "' (registered: naive, cpu, "
+                                       << "simdevice, faulty-cpu, faulty-simdevice)");
   return {};
 }
 
@@ -77,17 +87,18 @@ std::string default_backend_name() {
   }
   if (const char* s = std::getenv("H2SKETCH_BACKEND")) {
     const std::string v(s);
-    H2S_CHECK(is_registered(v), "H2SKETCH_BACKEND='" << v << "' is not a registered backend "
-                                                     << "(naive, cpu, simdevice)");
+    H2S_CHECK(is_registered(v), "H2SKETCH_BACKEND='"
+                                    << v << "' is not a registered backend "
+                                    << "(naive, cpu, simdevice, faulty-cpu, faulty-simdevice)");
     return v;
   }
   return std::string("cpu");
 }
 
 void set_default_backend(std::string_view name) {
-  H2S_CHECK(is_registered(name), "set_default_backend('" << std::string(name)
-                                                         << "'): not a registered backend "
-                                                         << "(naive, cpu, simdevice)");
+  H2S_CHECK(is_registered(name), "set_default_backend('"
+                                     << std::string(name) << "'): not a registered backend "
+                                     << "(naive, cpu, simdevice, faulty-cpu, faulty-simdevice)");
   std::lock_guard<std::mutex> lk(default_name_mutex());
   default_name_override() = std::string(name);
 }
@@ -98,5 +109,20 @@ void reset_default_backend() {
 }
 
 ExecutionConfig default_backend() { return shared_backend(default_backend_name()); }
+
+std::string_view degraded_backend_name(std::string_view name) {
+  if (name == "faulty-cpu") return "cpu";
+  if (name == "faulty-simdevice") return "simdevice";
+  return name;
+}
+
+std::shared_ptr<FaultInjectingDevice> fault_injector(std::string_view name) {
+  H2S_CHECK(name == "faulty-cpu" || name == "faulty-simdevice",
+            "fault_injector('" << std::string(name) << "'): not a fault-injecting backend "
+                               << "(faulty-cpu, faulty-simdevice)");
+  auto dev = std::dynamic_pointer_cast<FaultInjectingDevice>(shared_device(name));
+  H2S_CHECK(dev != nullptr, "fault_injector: registry did not produce a FaultInjectingDevice");
+  return dev;
+}
 
 } // namespace h2sketch::backend

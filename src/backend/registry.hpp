@@ -17,6 +17,12 @@
 ///   * `naive`     — CpuBackend, one launch per batch entry (ablation)
 ///   * `simdevice` — SimulatedDevice, batched launches (the GPU-shaped
 ///                   path with a separate, poisoned device heap)
+///   * `faulty-cpu`, `faulty-simdevice` — the same devices wrapped in a
+///                   `FaultInjectingDevice` (backend/fault_injection.hpp):
+///                   scheduled allocation/copy/launch failures for
+///                   fault-tolerance testing. The wrapper shares the base
+///                   device's heap, so `degraded_backend_name()` gives a
+///                   fault-free config that can still touch its buffers.
 ///
 /// `registered_backends()` lets tests and benches iterate every
 /// configuration; `shared_backend()` returns process-wide singletons so
@@ -61,5 +67,19 @@ void reset_default_backend();
 /// shared_backend(default_backend_name()) — what a default-constructed
 /// ExecutionContext uses.
 ExecutionConfig default_backend();
+
+class FaultInjectingDevice;
+
+/// The fault-free configuration a degraded retry should fall back to:
+/// "faulty-cpu" → "cpu", "faulty-simdevice" → "simdevice"; names that are
+/// already fault-free map to themselves. The mapped configuration's device
+/// is always the memory owner of the original's buffers, so operators
+/// built under the faulty config remain applicable under the fallback.
+std::string_view degraded_backend_name(std::string_view name);
+
+/// The process-wide FaultInjectingDevice behind a "faulty-*" configuration
+/// (tests and benches program schedules through this). Throws for names
+/// without an injector.
+std::shared_ptr<FaultInjectingDevice> fault_injector(std::string_view name);
 
 } // namespace h2sketch::backend

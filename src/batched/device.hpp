@@ -3,6 +3,7 @@
 #include <atomic>
 #include <array>
 #include <deque>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <utility>
@@ -237,6 +238,36 @@ class ExecutionContext {
   std::atomic<index_t> launches_{0};
   std::array<Stream, static_cast<size_t>(kNumStreams)> streams_;
   Workspace workspace_;
+};
+
+/// Exception-safety fence for async stream launches. Launch bodies capture
+/// views of buffers owned by stack frames; if an exception (e.g. an injected
+/// `LaunchError`) unwinds a frame while launches are still queued, the pool
+/// would execute them against freed memory. Declare a StreamFence *after*
+/// the operands the pending launches reference and *before* issuing
+/// launches: on normal return it is a no-op, but on unwind it drains every
+/// stream (swallowing their errors — the in-flight exception wins) before
+/// the operands are destroyed.
+class StreamFence {
+ public:
+  explicit StreamFence(ExecutionContext& ctx)
+      : ctx_(ctx), exceptions_at_entry_(std::uncaught_exceptions()) {}
+  StreamFence(const StreamFence&) = delete;
+  StreamFence& operator=(const StreamFence&) = delete;
+  ~StreamFence() {
+    if (std::uncaught_exceptions() <= exceptions_at_entry_) return;
+    for (StreamId s = 0; s < kNumStreams; ++s) {
+      try {
+        ctx_.sync(s);
+      } catch (...) {
+        // The exception already unwinding takes precedence.
+      }
+    }
+  }
+
+ private:
+  ExecutionContext& ctx_;
+  int exceptions_at_entry_;
 };
 
 } // namespace h2sketch::batched

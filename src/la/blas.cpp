@@ -1,6 +1,9 @@
 #include "la/blas.hpp"
 
 #include <cmath>
+#include <string>
+
+#include "common/errors.hpp"
 
 #include "la/gemm_engine.hpp"
 
@@ -219,7 +222,12 @@ void cholesky_scalar(MatrixView a) {
   for (index_t k = 0; k < n; ++k) {
     real_t d = a(k, k);
     for (index_t p = 0; p < k; ++p) d -= a(k, p) * a(k, p);
-    H2S_CHECK(d > 0.0, "cholesky: non-positive pivot at " << k);
+    // Typed failure: callers (ulv_factor's ridge retry, the operator
+    // cache) must be able to tell "not numerically SPD" from operational
+    // errors — NumericalError is the non-retryable branch of the taxonomy.
+    if (!(d > 0.0))
+      throw NumericalError("cholesky: non-positive pivot at column " + std::to_string(k) +
+                           " (matrix is not numerically SPD)");
     d = std::sqrt(d);
     a(k, k) = d;
     for (index_t i = k + 1; i < n; ++i) {

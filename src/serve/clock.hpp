@@ -1,0 +1,50 @@
+#pragma once
+
+#include <mutex>
+
+#include "common/timer.hpp"
+
+/// \file clock.hpp
+/// Injectable monotonic time for the serving layer. The coalescer's flush
+/// and request deadlines and the operator cache's failure cooldown both
+/// read time through this interface, so tests drive every time-dependent
+/// policy with a ManualClock instead of real sleeps.
+
+namespace h2sketch::serve {
+
+/// Injectable time source (seconds, monotonic).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double now() const = 0;
+};
+
+/// Real time (common/timer.hpp steady clock).
+class SteadyClock final : public Clock {
+ public:
+  double now() const override { return wall_seconds(); }
+};
+
+/// Hand-cranked clock for deterministic tests. Pair it with manual_pump —
+/// threaded lanes convert deadlines to real waits.
+class ManualClock final : public Clock {
+ public:
+  double now() const override {
+    std::lock_guard<std::mutex> lk(mu_);
+    return t_;
+  }
+  void advance(double dt) {
+    std::lock_guard<std::mutex> lk(mu_);
+    t_ += dt;
+  }
+  void set(double t) {
+    std::lock_guard<std::mutex> lk(mu_);
+    t_ = t;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double t_ = 0.0;
+};
+
+} // namespace h2sketch::serve

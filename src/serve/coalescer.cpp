@@ -13,23 +13,6 @@
 
 namespace h2sketch::serve {
 
-double SteadyClock::now() const { return wall_seconds(); }
-
-double ManualClock::now() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return t_;
-}
-
-void ManualClock::advance(double dt) {
-  std::lock_guard<std::mutex> lk(mu_);
-  t_ += dt;
-}
-
-void ManualClock::set(double t) {
-  std::lock_guard<std::mutex> lk(mu_);
-  t_ = t;
-}
-
 Coalescer::Coalescer(CoalescerOptions opts, std::shared_ptr<const Clock> clock)
     : opts_(opts), clock_(clock ? std::move(clock) : std::make_shared<SteadyClock>()) {
   H2S_CHECK(opts_.max_batch > 0, "coalescer: max_batch must be positive");
@@ -57,9 +40,11 @@ std::future<void> Coalescer::submit(OperatorHandle op, RequestKind kind, const_r
 
   std::unique_lock<std::mutex> lk(mu_);
   if (opts_.manual_pump) {
-    H2S_CHECK(queue_size_ < opts_.queue_capacity,
-              "coalescer submit: queue full (" << opts_.queue_capacity
-                                               << " requests) in manual_pump mode");
+    if (queue_size_ >= opts_.queue_capacity)
+      throw QueueFullError("coalescer submit: queue full (" + std::to_string(queue_size_) + "/" +
+                               std::to_string(opts_.queue_capacity) +
+                               " requests) in manual_pump mode",
+                           queue_size_, opts_.queue_capacity);
   } else {
     space_cv_.wait(lk, [&] { return queue_size_ < opts_.queue_capacity || stopping_; });
   }
@@ -107,23 +92,70 @@ std::optional<Coalescer::Batch> Coalescer::take_ready_locked(double now, bool fo
   return b;
 }
 
+/// Remove every request that has outlived its deadline. Groups are FIFO, so
+/// scanning from the front of each finds all expired entries.
+void Coalescer::take_expired_locked(double now, std::vector<Request>& expired) {
+  if (opts_.request_deadline_seconds <= 0.0) return;
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    auto& reqs = it->second.reqs;
+    std::size_t n = 0;
+    while (n < reqs.size() && now - reqs[n].enqueue_time > opts_.request_deadline_seconds) ++n;
+    if (n > 0) {
+      std::move(reqs.begin(), reqs.begin() + static_cast<std::ptrdiff_t>(n),
+                std::back_inserter(expired));
+      reqs.erase(reqs.begin(), reqs.begin() + static_cast<std::ptrdiff_t>(n));
+      queue_size_ -= n;
+    }
+    it = reqs.empty() ? groups_.erase(it) : std::next(it);
+  }
+}
+
+/// Resolve expired requests with DeadlineExceededError (outside the queue
+/// lock — promise continuations can run arbitrary client code).
+index_t Coalescer::fail_expired(std::vector<Request> expired, double now) {
+  for (auto& r : expired) {
+    const double waited = now - r.enqueue_time;
+    r.op->metrics->deadline_expired.fetch_add(1, std::memory_order_relaxed);
+    r.done.set_exception(std::make_exception_ptr(DeadlineExceededError(
+        "coalescer: request waited " + std::to_string(waited) + "s, past its " +
+            std::to_string(opts_.request_deadline_seconds) + "s deadline",
+        waited)));
+  }
+  return static_cast<index_t>(expired.size());
+}
+
 double Coalescer::earliest_deadline_locked() const {
   double earliest = std::numeric_limits<double>::infinity();
   for (const auto& [key, g] : groups_) {
     if (g.reqs.empty()) continue;
-    earliest = std::min(earliest, g.reqs.front().enqueue_time + opts_.max_delay_seconds);
+    double d = g.reqs.front().enqueue_time + opts_.max_delay_seconds;
+    if (opts_.request_deadline_seconds > 0.0)
+      d = std::min(d, g.reqs.front().enqueue_time + opts_.request_deadline_seconds);
+    earliest = std::min(earliest, d);
   }
   return earliest;
+}
+
+/// One coalesced launch on `backend_name`, creating (and caching) the
+/// lane-local context on first use. The assignment into the map happens
+/// after the context constructs, so a failed construction leaves no null
+/// half-made entry behind.
+void Coalescer::launch_batch(Batch& batch, ContextMap& ctxs, ConstMatrixView b, MatrixView y,
+                             const std::string& backend_name) {
+  auto& ctx = ctxs[backend_name];
+  if (!ctx)
+    ctx = std::make_unique<batched::ExecutionContext>(backend::shared_backend(backend_name));
+  ServedOperator& op = *batch.reqs.front().op;
+  if (batch.kind == RequestKind::Matvec)
+    op.matrix.matvec(*ctx, b, y);
+  else
+    op.factor.solve_many(b, y, *ctx);
 }
 
 index_t Coalescer::execute_batch(Batch batch, ContextMap& ctxs) {
   const auto k = static_cast<index_t>(batch.reqs.size());
   ServedOperator& op = *batch.reqs.front().op;
   const index_t n = op.size();
-
-  auto& ctx = ctxs[op.backend];
-  if (!ctx)
-    ctx = std::make_unique<batched::ExecutionContext>(backend::shared_backend(op.backend));
 
   try {
     // Marshal the single-RHS payloads into one N x k block...
@@ -132,11 +164,20 @@ index_t Coalescer::execute_batch(Batch batch, ContextMap& ctxs) {
       std::memcpy(b.data() + j * n, batch.reqs[static_cast<size_t>(j)].x.data(),
                   static_cast<std::size_t>(n) * sizeof(real_t));
 
-    // ...one blocked launch for the whole tick...
-    if (batch.kind == RequestKind::Matvec)
-      op.matrix.matvec(*ctx, b.view(), y.view());
-    else
-      op.factor.solve_many(b.view(), y.view(), *ctx);
+    // ...one blocked launch for the whole tick, degrading once on a
+    // retryable failure: the fallback config shares the original's device
+    // heap (registry::degraded_backend_name), and both matvec and
+    // solve_many rewrite y in full, so a half-finished failed launch leaves
+    // nothing stale behind...
+    try {
+      launch_batch(batch, ctxs, b.view(), y.view(), op.backend);
+    } catch (const Error& e) {
+      const std::string degraded{backend::degraded_backend_name(op.backend)};
+      if (!e.retryable() || degraded == op.backend) throw;
+      op.metrics->launch_failures.fetch_add(1, std::memory_order_relaxed);
+      launch_batch(batch, ctxs, b.view(), y.view(), degraded);
+      op.metrics->degraded_launches.fetch_add(1, std::memory_order_relaxed);
+    }
 
     // ...and scatter back out.
     for (index_t j = 0; j < k; ++j)
@@ -166,10 +207,17 @@ index_t Coalescer::execute_batch(Batch batch, ContextMap& ctxs) {
 index_t Coalescer::run_ready(bool force, ContextMap& ctxs) {
   index_t completed = 0;
   for (;;) {
+    std::vector<Request> expired;
     std::unique_lock<std::mutex> lk(mu_);
-    auto batch = take_ready_locked(clock_->now(), force);
+    const double now = clock_->now();
+    take_expired_locked(now, expired);
+    auto batch = take_ready_locked(now, force);
     lk.unlock();
-    if (!batch) break;
+    completed += fail_expired(std::move(expired), now);
+    if (!batch) {
+      if (completed > 0) space_cv_.notify_all();
+      break;
+    }
     completed += execute_batch(std::move(*batch), ctxs);
     space_cv_.notify_all();
   }
@@ -184,10 +232,14 @@ void Coalescer::lane_loop() {
   ContextMap ctxs;
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
-    auto batch = take_ready_locked(clock_->now(), stopping_);
-    if (batch) {
+    std::vector<Request> expired;
+    const double now = clock_->now();
+    take_expired_locked(now, expired);
+    auto batch = take_ready_locked(now, stopping_);
+    if (batch || !expired.empty()) {
       lk.unlock();
-      execute_batch(std::move(*batch), ctxs);
+      fail_expired(std::move(expired), now);
+      if (batch) execute_batch(std::move(*batch), ctxs);
       space_cv_.notify_all();
       lk.lock();
       continue;

@@ -12,7 +12,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/errors.hpp"
 #include "common/types.hpp"
+#include "serve/clock.hpp"
 #include "serve/operator_cache.hpp"
 
 /// \file coalescer.hpp
@@ -38,38 +40,17 @@ namespace h2sketch::serve {
 
 enum class RequestKind { Matvec, Solve };
 
-/// Injectable time source (seconds, monotonic).
-class Clock {
- public:
-  virtual ~Clock() = default;
-  virtual double now() const = 0;
-};
-
-/// Real time (common/timer.hpp steady clock).
-class SteadyClock final : public Clock {
- public:
-  double now() const override;
-};
-
-/// Hand-cranked clock for deterministic tests. Pair it with manual_pump —
-/// threaded lanes convert deadlines to real waits.
-class ManualClock final : public Clock {
- public:
-  double now() const override;
-  void advance(double dt);
-  void set(double t);
-
- private:
-  mutable std::mutex mu_;
-  double t_ = 0.0;
-};
-
 struct CoalescerOptions {
   index_t max_batch = 16;          ///< flush a group at this many queued RHS
   double max_delay_seconds = 1e-3; ///< flush a group when its oldest request is this late
   std::size_t queue_capacity = 4096; ///< total queued requests before backpressure
   int lanes = 1;                   ///< dispatcher threads (ignored under manual_pump)
   bool manual_pump = false;        ///< no threads; caller drives pump()/drain()
+  /// Per-request deadline: a request still queued this long after submit
+  /// fails with `DeadlineExceededError` instead of dispatching (load
+  /// shedding — a client long past its own timeout should not consume a
+  /// launch slot). 0 (default) disables deadlines.
+  double request_deadline_seconds = 0.0;
 };
 
 /// Request coalescer. `submit` is thread-safe from any number of client
@@ -85,7 +66,9 @@ class Coalescer {
 
   /// Enqueue one single-RHS request (x, y length-N). The returned future
   /// resolves when y is written (or carries the launch's exception). Blocks
-  /// while the queue is at capacity (throws instead under manual_pump).
+  /// while the queue is at capacity (throws `QueueFullError` — carrying the
+  /// observed depth — instead under manual_pump, where nothing would ever
+  /// drain the queue while the caller blocks).
   std::future<void> submit(OperatorHandle op, RequestKind kind, const_real_span x, real_span y);
 
   /// Dispatch every group that is ready (full or expired) on the caller's
@@ -126,7 +109,11 @@ class Coalescer {
       std::unordered_map<std::string, std::unique_ptr<batched::ExecutionContext>>;
 
   std::optional<Batch> take_ready_locked(double now, bool force);
+  void take_expired_locked(double now, std::vector<Request>& expired);
+  index_t fail_expired(std::vector<Request> expired, double now);
   double earliest_deadline_locked() const;
+  void launch_batch(Batch& batch, ContextMap& ctxs, ConstMatrixView b, MatrixView y,
+                    const std::string& backend_name);
   index_t execute_batch(Batch batch, ContextMap& ctxs);
   index_t run_ready(bool force, ContextMap& ctxs);
   void lane_loop();

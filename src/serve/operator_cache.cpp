@@ -1,6 +1,10 @@
 #include "serve/operator_cache.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -51,6 +55,42 @@ std::size_t OperatorKeyHash::operator()(const OperatorKey& k) const {
   return static_cast<std::size_t>(h);
 }
 
+OperatorCache::OperatorCache(CacheOptions opts) : opts_([&] {
+  if (!opts.clock) opts.clock = std::make_shared<SteadyClock>();
+  return std::move(opts);
+}()) {}
+
+ServedOperator OperatorCache::build_with_recovery(const Builder& build) {
+  int attempt = 0;
+  for (;;) {
+    try {
+      return build();
+    } catch (const DeviceOomError& e) {
+      // Evict first: while freeing unpinned LRU entries makes progress the
+      // retry is free (it does not consume an attempt), because each
+      // eviction strictly shrinks the cache the loop terminates.
+      if (free_bytes_for_oom(e.requested_bytes())) continue;
+      if (attempt >= opts_.max_build_retries) throw;
+      ++attempt;
+    } catch (const Error& e) {
+      // Only the typed taxonomy is retried: an unknown exception gives the
+      // cache no basis to judge whether re-running the builder is safe.
+      if (!e.retryable() || attempt >= opts_.max_build_retries) throw;
+      ++attempt;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.build_retries;
+    }
+    const double delay = std::min(opts_.backoff_max_seconds,
+                                  opts_.backoff_initial_seconds * std::exp2(attempt - 1));
+    if (opts_.sleep_fn)
+      opts_.sleep_fn(delay);
+    else
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+}
+
 OperatorHandle OperatorCache::acquire(const OperatorKey& key, const Builder& build) {
   std::shared_future<EntryPtr> fut;
   std::promise<EntryPtr> prom;
@@ -61,6 +101,15 @@ OperatorHandle OperatorCache::acquire(const OperatorKey& key, const Builder& bui
       ++stats_.hits;
       touch_locked(it->second);
       return OperatorHandle(it->second);
+    }
+    if (auto f = failed_.find(key); f != failed_.end()) {
+      // Negative-result cooldown: the key failed terminally moments ago;
+      // rethrow the stored failure instead of paying for the build again.
+      if (opts_.clock->now() < f->second.expires_at) {
+        ++stats_.cooldown_rejects;
+        std::rethrow_exception(f->second.error);
+      }
+      failed_.erase(f);
     }
     ++stats_.misses;
     if (auto p = pending_.find(key); p != pending_.end()) {
@@ -83,12 +132,16 @@ OperatorHandle OperatorCache::acquire(const OperatorKey& key, const Builder& bui
   EntryPtr entry;
   try {
     entry = std::make_shared<detail::CacheEntry>();
-    entry->op = build();
+    entry->op = build_with_recovery(build);
     if (entry->op.bytes == 0)
       entry->op.bytes = entry->op.matrix.memory_bytes() + entry->op.factor.memory_bytes();
   } catch (...) {
     {
       std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.build_failures;
+      if (opts_.failure_cooldown_seconds > 0.0)
+        failed_[key] = {opts_.clock->now() + opts_.failure_cooldown_seconds,
+                        std::current_exception()};
       pending_.erase(key);
     }
     prom.set_exception(std::current_exception());
@@ -120,8 +173,8 @@ OperatorHandle OperatorCache::find(const OperatorKey& key) {
 }
 
 void OperatorCache::evict_locked() {
-  if (budget_ == 0) return;
-  while (stats_.bytes_cached > budget_) {
+  if (opts_.byte_budget == 0) return;
+  while (stats_.bytes_cached > opts_.byte_budget) {
     auto victim = map_.end();
     std::uint64_t skipped = 0;
     for (auto it = map_.begin(); it != map_.end(); ++it) {
@@ -137,6 +190,26 @@ void OperatorCache::evict_locked() {
     ++stats_.evictions;
     map_.erase(victim);
   }
+}
+
+bool OperatorCache::free_bytes_for_oom(std::size_t requested) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::size_t want = std::max<std::size_t>(requested, 1);
+  std::size_t freed = 0;
+  while (freed < want) {
+    auto victim = map_.end();
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      if (it->second->pins.load(std::memory_order_acquire) > 0) continue;
+      if (victim == map_.end() || it->second->last_use < victim->second->last_use) victim = it;
+    }
+    if (victim == map_.end()) break; // everything resident is pinned
+    freed += victim->second->op.bytes;
+    stats_.bytes_cached -= victim->second->op.bytes;
+    ++stats_.evictions;
+    ++stats_.oom_evictions;
+    map_.erase(victim);
+  }
+  return freed > 0;
 }
 
 CacheStats OperatorCache::stats() const {

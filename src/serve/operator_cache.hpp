@@ -10,10 +10,12 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "common/errors.hpp"
 #include "core/config.hpp"
 #include "core/stats.hpp"
 #include "geometry/point_cloud.hpp"
 #include "kernels/kernel.hpp"
+#include "serve/clock.hpp"
 #include "serve/telemetry.hpp"
 #include "solver/hss_matrix.hpp"
 #include "solver/ulv.hpp"
@@ -120,7 +122,32 @@ struct CacheStats {
   std::uint64_t builds = 0;         ///< builder invocations (misses minus joins)
   std::uint64_t evictions = 0;      ///< entries dropped by the LRU sweep
   std::uint64_t eviction_skips = 0; ///< pinned entries the sweep had to pass over
+  std::uint64_t build_retries = 0;  ///< builder re-invocations after a retryable Error
+  std::uint64_t build_failures = 0; ///< builds that failed after all retries
+  std::uint64_t cooldown_rejects = 0; ///< acquires rejected from the failure cooldown cache
+  std::uint64_t oom_evictions = 0;  ///< entries evicted to satisfy a DeviceOomError retry
   std::size_t bytes_cached = 0;     ///< current resident operator bytes
+};
+
+/// Cache policy, including the build-failure recovery knobs.
+struct CacheOptions {
+  std::size_t byte_budget = 0; ///< 0 = unbounded (never evicts)
+
+  /// Builder re-invocations after a retryable `Error` (taxonomy only —
+  /// exceptions outside `h2sketch::Error` propagate immediately, since the
+  /// cache cannot judge whether retrying an unknown failure is safe).
+  int max_build_retries = 2;
+  double backoff_initial_seconds = 0.05; ///< first retry delay; doubles per retry
+  double backoff_max_seconds = 1.0;      ///< backoff cap
+
+  /// Negative-result cooldown: after a build fails all retries, re-acquires
+  /// of that key within this window rethrow the stored failure instead of
+  /// re-running the expensive build. 0 (default) disables the cooldown — a
+  /// failed key may rebuild immediately.
+  double failure_cooldown_seconds = 0.0;
+
+  std::shared_ptr<const Clock> clock;    ///< cooldown time source (default SteadyClock)
+  std::function<void(double)> sleep_fn;  ///< backoff sleep (default real sleep); tests no-op it
 };
 
 /// Byte-budgeted LRU cache of factored operators. All public methods are
@@ -130,14 +157,23 @@ class OperatorCache {
  public:
   using Builder = std::function<ServedOperator()>;
 
+  explicit OperatorCache(CacheOptions opts);
   /// byte_budget 0 = unbounded (never evicts).
-  explicit OperatorCache(std::size_t byte_budget = 0) : budget_(byte_budget) {}
+  explicit OperatorCache(std::size_t byte_budget = 0)
+      : OperatorCache(CacheOptions{.byte_budget = byte_budget}) {}
 
   /// Return a handle for `key`, invoking `build` on a miss. Concurrent
   /// misses on one key run a single build; a build that throws propagates
   /// to every waiter and leaves no cache entry behind. After inserting, the
   /// LRU sweep runs — the freshly returned handle pins its own entry, so
   /// the new operator is never its own victim.
+  ///
+  /// Recovery (see CacheOptions): retryable `Error`s re-invoke the builder
+  /// under capped exponential backoff; a `DeviceOomError` first evicts
+  /// unpinned LRU entries to cover the failed allocation and retries
+  /// without consuming an attempt while eviction makes progress. A key
+  /// whose build failed terminally rethrows from the cooldown cache for
+  /// `failure_cooldown_seconds` before the builder runs again.
   OperatorHandle acquire(const OperatorKey& key, const Builder& build);
 
   /// Lookup without building: empty handle on miss (does not count as a
@@ -146,18 +182,27 @@ class OperatorCache {
 
   CacheStats stats() const;
   std::size_t bytes_cached() const;
-  std::size_t byte_budget() const { return budget_; }
+  std::size_t byte_budget() const { return opts_.byte_budget; }
 
  private:
   using EntryPtr = std::shared_ptr<detail::CacheEntry>;
+  struct FailedBuild {
+    double expires_at = 0.0;
+    std::exception_ptr error;
+  };
 
   void touch_locked(const EntryPtr& e) { e->last_use = ++use_clock_; }
   void evict_locked();
+  /// Drop unpinned LRU entries until at least `requested` bytes are freed
+  /// (or nothing evictable remains). True if any entry was evicted.
+  bool free_bytes_for_oom(std::size_t requested);
+  ServedOperator build_with_recovery(const Builder& build);
 
-  const std::size_t budget_;
+  const CacheOptions opts_;
   mutable std::mutex mu_;
   std::unordered_map<OperatorKey, EntryPtr, OperatorKeyHash> map_;
   std::unordered_map<OperatorKey, std::shared_future<EntryPtr>, OperatorKeyHash> pending_;
+  std::unordered_map<OperatorKey, FailedBuild, OperatorKeyHash> failed_;
   std::uint64_t use_clock_ = 0;
   CacheStats stats_;
 };

@@ -34,7 +34,10 @@ double LatencyHistogram::quantile(double q) const {
     snap[static_cast<size_t>(b)] = counts_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
     total += snap[static_cast<size_t>(b)];
   }
-  if (total == 0) return 0.0;
+  // Guard the empty histogram (and a NaN q, which std::clamp would pass
+  // through) before any rank arithmetic: reporters poll snapshots from the
+  // moment an operator is cached, long before the first request completes.
+  if (total == 0 || std::isnan(q)) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the requested quantile among `total` ordered samples.
   const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total - 1));
@@ -59,6 +62,9 @@ MetricsSnapshot OperatorMetrics::snapshot() const {
   s.coalesced_rhs = coalesced_rhs.load(std::memory_order_relaxed);
   s.flush_full = flush_full.load(std::memory_order_relaxed);
   s.flush_timeout = flush_timeout.load(std::memory_order_relaxed);
+  s.launch_failures = launch_failures.load(std::memory_order_relaxed);
+  s.degraded_launches = degraded_launches.load(std::memory_order_relaxed);
+  s.deadline_expired = deadline_expired.load(std::memory_order_relaxed);
   s.p50_seconds = latency.quantile(0.50);
   s.p99_seconds = latency.quantile(0.99);
   return s;

@@ -55,6 +55,9 @@ struct MetricsSnapshot {
   std::uint64_t coalesced_rhs = 0; ///< total RHS columns across batches
   std::uint64_t flush_full = 0;    ///< batches flushed because max_batch was reached
   std::uint64_t flush_timeout = 0; ///< batches flushed because max_delay expired
+  std::uint64_t launch_failures = 0;  ///< coalesced launches that raised a retryable error
+  std::uint64_t degraded_launches = 0;///< launches re-run successfully on the fallback backend
+  std::uint64_t deadline_expired = 0; ///< requests failed with DeadlineExceededError
   double p50_seconds = 0.0;        ///< request latency p50 (submit -> complete)
   double p99_seconds = 0.0;        ///< request latency p99
 
@@ -75,6 +78,9 @@ class OperatorMetrics {
   std::atomic<std::uint64_t> coalesced_rhs{0};
   std::atomic<std::uint64_t> flush_full{0};
   std::atomic<std::uint64_t> flush_timeout{0};
+  std::atomic<std::uint64_t> launch_failures{0};
+  std::atomic<std::uint64_t> degraded_launches{0};
+  std::atomic<std::uint64_t> deadline_expired{0};
   LatencyHistogram latency;
 
   MetricsSnapshot snapshot() const;

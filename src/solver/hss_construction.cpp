@@ -505,6 +505,10 @@ HssResult build_hss(std::shared_ptr<const tree::ClusterTree> tree, kern::MatVecS
                     const kern::EntryGenerator& gen, const core::ConstructionOptions& opts,
                     batched::ExecutionContext& ctx) {
   HssBuilder builder(std::move(tree), sampler, gen, opts, ctx);
+  // The builder's launches reference its sampling panels; if construction
+  // unwinds (e.g. an injected device fault), drain the streams before the
+  // builder -- declared above the fence -- is destroyed.
+  batched::StreamFence fence(ctx);
   return builder.run();
 }
 

@@ -139,6 +139,9 @@ void HssMatrix::matvec(batched::ExecutionContext& ctx, ConstMatrixView x, Matrix
       yhat[static_cast<size_t>(l)][static_cast<size_t>(i)] = ws.panel(rank(l, i), d);
     }
   }
+  // Pending launches write into the workspace arena; if a launch fault
+  // unwinds this call, drain them before the caller can reset/reuse ws.
+  batched::StreamFence fence(ctx);
   // One bulk zero fill from yd through the last coefficient panel (yd and
   // the panels must start zeroed); xd sits before the span and is filled
   // by the upload instead.

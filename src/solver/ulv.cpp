@@ -1,8 +1,11 @@
 #include "solver/ulv.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "backend/registry.hpp"
+#include "common/errors.hpp"
 #include "batched/batched_gemm.hpp"
 #include "batched/batched_solve.hpp"
 #include "la/blas.hpp"
@@ -52,15 +55,20 @@ void merge_siblings(const UlvNode& c1, const UlvNode& c2, const Matrix& b, Matri
 /// then rotate: qr <- QR(G), utilde <- R, dhat <- Q^T D Q. All outputs are
 /// preallocated; the body runs inside a batched launch.
 void assemble_and_rotate(const HssMatrix& a, const std::vector<std::vector<UlvNode>>& nodes,
-                         index_t level, index_t i, UlvNode& nd) {
+                         index_t level, index_t i, real_t ridge, UlvNode& nd) {
   const index_t leaf = a.leaf_level();
   const auto ul = static_cast<size_t>(level);
   const index_t n = nd.n_loc;
   const index_t r = nd.rank;
 
-  // Local diagonal block.
+  // Local diagonal block. The ridge enters the factorization only here, at
+  // the leaf diagonals: bumping every leaf block by ridge*I is exactly
+  // A + ridge*I, and the Schur complements propagate it upward.
   if (level == leaf) {
-    copy(a.leaf_diag[static_cast<size_t>(i)].view(), nd.dhat.view());
+    MatrixView dv = nd.dhat.view();
+    copy(a.leaf_diag[static_cast<size_t>(i)].view(), dv);
+    if (ridge != real_t{0})
+      for (index_t k = 0; k < n; ++k) dv(k, k) += ridge;
   } else {
     merge_siblings(nodes[ul + 1][static_cast<size_t>(2 * i)],
                    nodes[ul + 1][static_cast<size_t>(2 * i + 1)],
@@ -91,14 +99,34 @@ void assemble_and_rotate(const HssMatrix& a, const std::vector<std::vector<UlvNo
   ConstMatrixView qv = nd.qr.view();
   for (index_t jj = 0; jj < r; ++jj)
     for (index_t ii = 0; ii <= jj && ii < r; ++ii) ut(ii, jj) = qv(ii, jj);
-  (void)n;
+}
+
+/// Largest |diagonal entry| of A, read off the (host-resident) leaf
+/// diagonal blocks: the scale the ridge-retry ladder is relative to.
+real_t max_abs_diag(const HssMatrix& a) {
+  real_t scale = 0.0;
+  for (const Matrix& d : a.leaf_diag) {
+    ConstMatrixView v = d.view();
+    const index_t n = std::min(v.rows, v.cols);
+    for (index_t k = 0; k < n; ++k) scale = std::max(scale, std::abs(v(k, k)));
+  }
+  return scale;
 }
 
 } // namespace
 
-UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx) {
+UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx,
+                       const UlvOptions& opts) {
   a.validate();
+
+  // One full factorization attempt of A + ridge*I. A lambda local to this
+  // friend function, so it can populate UlvCholesky's private panels.
+  auto factor_once = [&a, &ctx](real_t ridge) {
   UlvCholesky f;
+  // Pending launches hold views into f's node panels; if an attempt unwinds
+  // (an injected launch fault, or a NumericalError surfacing at a sync
+  // point) the fence drains every stream before f's panels are freed.
+  batched::StreamFence fence(ctx);
   f.tree_ = a.tree;
   const index_t levels = a.num_levels();
   const index_t leaf = a.leaf_level();
@@ -107,6 +135,10 @@ UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx) {
   if (levels == 1) {
     // Degenerate single-node tree: the HSS matrix is one dense block.
     f.root_factor_ = to_matrix(a.leaf_diag[0].view());
+    if (ridge != real_t{0}) {
+      MatrixView rv = f.root_factor_.view();
+      for (index_t k = 0; k < rv.rows; ++k) rv(k, k) += ridge;
+    }
     la::cholesky(f.root_factor_.view());
     return f;
   }
@@ -145,8 +177,8 @@ UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx) {
           const index_t n = nodes_ptr[i].n_loc;
           return n * n * n + 1;
         },
-        [&a, &f, l, nodes_ptr](index_t i) {
-          assemble_and_rotate(a, f.nodes_, l, i, nodes_ptr[i]);
+        [&a, &f, l, ridge, nodes_ptr](index_t i) {
+          assemble_and_rotate(a, f.nodes_, l, i, ridge, nodes_ptr[i]);
         });
 
     // Launches 2-4: eliminate the interior blocks — batched potrf on Dh_zz,
@@ -194,6 +226,30 @@ UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx) {
                  f.root_factor_.view());
   la::cholesky(f.root_factor_.view());
   return f;
+  };
+
+  const real_t scale0 = max_abs_diag(a);
+  const real_t scale = scale0 > real_t{0} ? scale0 : real_t{1};
+  real_t ridge = 0.0;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      UlvCholesky f = factor_once(ridge);
+      f.ridge_ = ridge;
+      return f;
+    } catch (const NumericalError&) {
+      // A non-positive pivot is deterministic -- only escalation (a larger
+      // ridge) can change the outcome. The ladder caps at
+      // ridge_rel * growth^(retries-1) of the diagonal scale (1e-6 by
+      // default), far too small to mask genuine indefiniteness: those
+      // matrices still fail the last attempt and the error surfaces.
+      if (attempt >= opts.max_ridge_retries) throw;
+      ridge = ridge == real_t{0} ? opts.ridge_rel * scale : ridge * opts.ridge_growth;
+    }
+  }
+}
+
+UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx) {
+  return ulv_factor(a, ctx, UlvOptions{});
 }
 
 UlvCholesky ulv_factor(const HssMatrix& a) {
@@ -226,7 +282,10 @@ void UlvCholesky::solve_many(ConstMatrixView b, MatrixView x,
   const index_t nrhs = b.cols;
   H2S_CHECK(b.rows == n && x.rows == n && x.cols == nrhs, "ulv solve: shape mismatch");
   backend::DeviceBackend* own = panel_backend(nodes_);
-  H2S_CHECK(own == nullptr || own == &ctx.device(),
+  // Compare memory owners, not backend identities: a FaultInjectingDevice
+  // shares its inner device's heap, so a factor built under "faulty-cpu"
+  // stays solvable through a degraded "cpu" context (and vice versa).
+  H2S_CHECK(own == nullptr || own->memory_owner() == ctx.device().memory_owner(),
             "ulv solve: context device '" << ctx.device().name()
                                           << "' does not own the factor panels (factored on '"
                                           << own->name()
@@ -252,6 +311,9 @@ void UlvCholesky::solve_many(ConstMatrixView b, MatrixView x,
       work[static_cast<size_t>(l)][static_cast<size_t>(i)].resize(
           ctx.device(), nodes_[static_cast<size_t>(l)][static_cast<size_t>(i)].n_loc, nrhs);
   }
+  // Sweep launches reference `work`; drain them before it unwinds if a
+  // launch fault surfaces mid-solve.
+  batched::StreamFence fence(ctx);
 
   const auto stream = batched::kSampleStream;
 

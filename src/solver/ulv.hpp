@@ -32,6 +32,19 @@
 
 namespace h2sketch::solver {
 
+/// Recovery knobs for `ulv_factor`. A non-positive pivot (`NumericalError`)
+/// is deterministic — retrying the identical factorization cannot help — so
+/// recovery escalates instead: each retry factors A + ridge*I with a ridge
+/// of `ridge_rel * growth^k * scale` (scale = largest |diagonal entry|).
+/// The default ladder (1e-10, 1e-8, 1e-6 of the diagonal scale) rescues
+/// matrices that are SPD up to rounding but is far too small to mask a
+/// genuinely indefinite matrix, which still throws after the last attempt.
+struct UlvOptions {
+  int max_ridge_retries = 3;       ///< extra attempts after the ridge-free one
+  real_t ridge_rel = real_t{1e-10};///< first ridge, relative to the diagonal scale
+  real_t ridge_growth = real_t{100};///< ridge multiplier per subsequent retry
+};
+
 /// Per-node factor panels (see file comment for the roles). The panels are
 /// device-resident — written and read only inside the factor/solve kernel
 /// launches, with the root system marshaled back to the host through
@@ -83,6 +96,10 @@ class UlvCholesky {
   /// explicit-context overloads check the same affinity.
   backend::ExecutionConfig execution_config() const;
 
+  /// The ridge actually folded into the factorization: 0 when the first
+  /// (exact) attempt succeeded, else the A + ridge*I bump that did.
+  real_t ridge_applied() const { return ridge_; }
+
   /// The dense factor of the final reduced root system (tests/bench).
   const Matrix& root_factor() const { return root_factor_; }
   const UlvNode& node(index_t level, index_t i) const {
@@ -90,18 +107,24 @@ class UlvCholesky {
   }
 
  private:
-  friend UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx);
+  friend UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx,
+                                const UlvOptions& opts);
 
   std::shared_ptr<const tree::ClusterTree> tree_;
   /// nodes_[l][i] for levels 1..leaf; levels 0 stays empty (the root system
   /// is root_factor_).
   std::vector<std::vector<UlvNode>> nodes_;
   Matrix root_factor_; ///< lower Cholesky of the merged root system
+  real_t ridge_ = 0.0; ///< diagonal bump the successful attempt used
 };
 
-/// ULV-factor an SPD HssMatrix. Throws (std::runtime_error) on a
-/// non-positive pivot, i.e. when the compressed matrix is not numerically
-/// SPD.
+/// ULV-factor an SPD HssMatrix, retrying failed pivots with an escalating
+/// ridge per `opts` (see UlvOptions). Throws `NumericalError` when the
+/// compressed matrix is not numerically SPD even after the last ridge.
+UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx,
+                       const UlvOptions& opts);
+
+/// Same under default recovery options.
 UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx);
 
 /// Convenience overload with an internal Batched context.

@@ -59,12 +59,14 @@ class RegistryBackendTest : public ::testing::TestWithParam<std::string> {
   batched::ExecutionContext ctx_;
 };
 
-TEST(BackendRegistry, RegistersTheThreeBuiltInConfigurations) {
+TEST(BackendRegistry, RegistersTheBuiltInConfigurations) {
   const auto names = backend::registered_backends();
-  ASSERT_EQ(names.size(), 3u);
+  ASSERT_EQ(names.size(), 5u);
   EXPECT_NE(std::find(names.begin(), names.end(), "naive"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "cpu"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "simdevice"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "faulty-cpu"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "faulty-simdevice"), names.end());
   EXPECT_THROW((void)backend::make_backend("cuda"), std::runtime_error);
 }
 
@@ -441,7 +443,14 @@ INSTANTIATE_TEST_SUITE_P(AllRegisteredBackends, RegistryBackendTest,
                              names.emplace_back(n);
                            return names;
                          }()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& info) {
+                           // gtest parameter names must be alphanumeric:
+                           // "faulty-cpu" -> "faulty_cpu".
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
 
 TEST(ExecutionContext, LaunchAccountingPerBackend) {
   ExecutionContext batched(Backend::Batched);

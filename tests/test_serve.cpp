@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "backend/registry.hpp"
+#include "common/errors.hpp"
 #include "kernels/kernels.hpp"
 #include "serve/coalescer.hpp"
 #include "serve/operator_cache.hpp"
@@ -338,6 +341,258 @@ TEST(Coalescer, ThreadedLanesServeConcurrentClients) {
   // comparison is to tolerance, unlike the fixed-batch tests above.
   EXPECT_LT(test_util::rel_fro_error(ys.view(), y_ref.view()), test_util::kMatvecRelTol);
   EXPECT_EQ(op->metrics->latency.count(), op->metrics->snapshot().requests);
+}
+
+// --- recovery policies -------------------------------------------------
+
+TEST(OperatorCache, RetryableBuildErrorsRetryWithCappedBackoff) {
+  std::vector<double> sleeps;
+  CacheOptions o;
+  o.max_build_retries = 3;
+  o.backoff_initial_seconds = 0.05;
+  o.backoff_max_seconds = 0.15;
+  o.sleep_fn = [&](double d) { sleeps.push_back(d); };
+  OperatorCache cache(o);
+
+  int invocations = 0;
+  auto h = cache.acquire(key_of("flaky"), [&]() -> ServedOperator {
+    if (++invocations < 4) throw LaunchError("transient launch failure");
+    return dummy_op(10);
+  });
+  EXPECT_TRUE(h);
+  EXPECT_EQ(invocations, 4);
+  // Exponential backoff from 0.05, capped at backoff_max: 0.05, 0.1, 0.15.
+  ASSERT_EQ(sleeps.size(), 3u);
+  EXPECT_DOUBLE_EQ(sleeps[0], 0.05);
+  EXPECT_DOUBLE_EQ(sleeps[1], 0.10);
+  EXPECT_DOUBLE_EQ(sleeps[2], 0.15);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.build_retries, 3u);
+  EXPECT_EQ(s.build_failures, 0u);
+}
+
+TEST(OperatorCache, NonRetryableAndUnknownErrorsAreNotRetried) {
+  CacheOptions o;
+  o.max_build_retries = 5;
+  o.sleep_fn = [](double) { FAIL() << "must not back off for a non-retryable error"; };
+  OperatorCache cache(o);
+
+  int invocations = 0;
+  EXPECT_THROW(cache.acquire(key_of("indefinite"),
+                             [&]() -> ServedOperator {
+                               ++invocations;
+                               throw NumericalError("not SPD");
+                             }),
+               NumericalError);
+  EXPECT_EQ(invocations, 1); // deterministic failure: retrying cannot help
+
+  // Exceptions outside the taxonomy propagate on the first attempt too —
+  // the cache has no basis to judge whether re-running them is safe.
+  invocations = 0;
+  EXPECT_THROW(cache.acquire(key_of("unknown"),
+                             [&]() -> ServedOperator {
+                               ++invocations;
+                               throw std::runtime_error("not taxonomy");
+                             }),
+               std::runtime_error);
+  EXPECT_EQ(invocations, 1);
+  EXPECT_EQ(cache.stats().build_failures, 2u);
+}
+
+TEST(OperatorCache, ConcurrentMissesShareOneFailingBuild) {
+  CacheOptions opts;
+  opts.max_build_retries = 0; // single invocation per acquire
+  OperatorCache cache(opts);
+  std::atomic<int> invocations{0};
+  std::promise<void> entered;
+  auto entered_fut = entered.get_future().share();
+
+  std::atomic<int> failures{0};
+  std::thread builder([&] {
+    try {
+      (void)cache.acquire(key_of("shared-fail"), [&]() -> ServedOperator {
+        if (invocations.fetch_add(1) == 0)
+          entered.set_value(); // let the joiners pile onto the pending future
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        throw LaunchError("build died");
+      });
+    } catch (const LaunchError&) {
+      failures.fetch_add(1);
+    }
+  });
+  entered_fut.wait();
+  std::vector<std::thread> joiners;
+  for (int t = 0; t < 3; ++t)
+    joiners.emplace_back([&] {
+      try {
+        (void)cache.acquire(key_of("shared-fail"),
+                            [&]() -> ServedOperator { throw LaunchError("build died"); });
+      } catch (const LaunchError&) {
+        failures.fetch_add(1);
+      }
+    });
+  builder.join();
+  for (auto& t : joiners) t.join();
+  // Every caller observed the single flight's failure; joiners that raced
+  // past the pending window ran (and failed) their own build, but nothing
+  // was cached and the key is not wedged.
+  EXPECT_EQ(failures.load(), 4);
+  EXPECT_GE(invocations.load(), 1);
+  EXPECT_FALSE(cache.find(key_of("shared-fail")));
+  EXPECT_TRUE(cache.acquire(key_of("shared-fail"), [] { return dummy_op(10); }));
+}
+
+TEST(OperatorCache, FailureCooldownRejectsThenExpires) {
+  auto clock = std::make_shared<ManualClock>();
+  CacheOptions o;
+  o.max_build_retries = 0;
+  o.failure_cooldown_seconds = 10.0;
+  o.clock = clock;
+  OperatorCache cache(o);
+
+  int invocations = 0;
+  auto failing = [&]() -> ServedOperator {
+    ++invocations;
+    throw LaunchError("device fell over");
+  };
+  EXPECT_THROW(cache.acquire(key_of("cool"), failing), LaunchError);
+  EXPECT_EQ(invocations, 1);
+
+  // Inside the cooldown window the stored failure is rethrown and the
+  // builder never runs — the negative-result cache absorbs retry storms.
+  clock->advance(5.0);
+  EXPECT_THROW(cache.acquire(key_of("cool"), failing), LaunchError);
+  EXPECT_EQ(invocations, 1);
+  EXPECT_EQ(cache.stats().cooldown_rejects, 1u);
+
+  // Past the window the key builds again.
+  clock->advance(6.0);
+  auto h = cache.acquire(key_of("cool"), [&] {
+    ++invocations;
+    return dummy_op(10);
+  });
+  EXPECT_TRUE(h);
+  EXPECT_EQ(invocations, 2);
+}
+
+TEST(OperatorCache, DeviceOomEvictsUnpinnedEntriesAndRetries) {
+  CacheOptions o;
+  o.sleep_fn = [](double) {};
+  OperatorCache cache(o);
+  (void)cache.acquire(key_of("old"), [] { return dummy_op(100); }); // unpinned: evictable
+  auto pinned = cache.acquire(key_of("pinned"), [] { return dummy_op(100); });
+
+  int invocations = 0;
+  auto h = cache.acquire(key_of("big"), [&]() -> ServedOperator {
+    if (++invocations == 1) throw DeviceOomError("device heap exhausted", 50);
+    return dummy_op(100);
+  });
+  EXPECT_TRUE(h);
+  EXPECT_EQ(invocations, 2);
+  const CacheStats s = cache.stats();
+  // The OOM retry evicted the unpinned LRU entry (and only it) without
+  // consuming a backoff retry.
+  EXPECT_EQ(s.oom_evictions, 1u);
+  EXPECT_EQ(s.build_retries, 0u);
+  EXPECT_FALSE(cache.find(key_of("old")));
+  EXPECT_TRUE(cache.find(key_of("pinned")));
+}
+
+TEST(Coalescer, QueueFullErrorCarriesDepthAndCapacity) {
+  auto op = serving_operator();
+  const index_t n = op->size();
+  CoalescerOptions o = manual_options(64, 1e9);
+  o.queue_capacity = 2;
+  Coalescer co(o, std::make_shared<ManualClock>());
+
+  const Matrix x = test_util::random_matrix(n, 3, 41);
+  Matrix y(n, 3);
+  auto span_x = [&](index_t j) { return const_real_span(x.data() + j * n, static_cast<size_t>(n)); };
+  auto span_y = [&](index_t j) { return real_span(y.data() + j * n, static_cast<size_t>(n)); };
+  auto f0 = co.submit(op, RequestKind::Matvec, span_x(0), span_y(0));
+  auto f1 = co.submit(op, RequestKind::Matvec, span_x(1), span_y(1));
+  try {
+    (void)co.submit(op, RequestKind::Matvec, span_x(2), span_y(2));
+    FAIL() << "submit past capacity must throw QueueFullError";
+  } catch (const QueueFullError& e) {
+    EXPECT_EQ(e.depth(), 2u);
+    EXPECT_EQ(e.capacity(), 2u);
+    EXPECT_TRUE(e.retryable()); // load drains: callers may resubmit
+  }
+  EXPECT_EQ(co.drain(), 2);
+  f0.get();
+  f1.get();
+}
+
+TEST(Coalescer, RequestDeadlineExpiresUnderManualClock) {
+  auto op = serving_operator(8e-8); // private operator: fresh counters
+  const index_t n = op->size();
+  CoalescerOptions o = manual_options(64, 1e9);
+  o.request_deadline_seconds = 1.0;
+  auto clock = std::make_shared<ManualClock>();
+  Coalescer co(o, clock);
+
+  const Matrix x = test_util::random_matrix(n, 2, 55);
+  Matrix y(n, 2);
+  std::vector<std::future<void>> futs;
+  for (index_t j = 0; j < 2; ++j)
+    futs.push_back(co.submit(op, RequestKind::Matvec,
+                             const_real_span(x.data() + j * n, static_cast<size_t>(n)),
+                             real_span(y.data() + j * n, static_cast<size_t>(n))));
+  EXPECT_EQ(co.pump(), 0); // within deadline, batch not full: nothing moves
+  clock->advance(1.5);
+  EXPECT_EQ(co.pump(), 2); // both expired: resolved (exceptionally), not dispatched
+  EXPECT_EQ(co.pending(), 0);
+  for (auto& f : futs) {
+    try {
+      f.get();
+      FAIL() << "expired request must fail with DeadlineExceededError";
+    } catch (const DeadlineExceededError& e) {
+      EXPECT_NEAR(e.waited_seconds(), 1.5, 1e-9);
+      EXPECT_TRUE(e.retryable());
+    }
+  }
+  EXPECT_EQ(op->metrics->snapshot().deadline_expired, 2u);
+}
+
+TEST(Coalescer, StopDrainsQueuedRequestsBeforeRejecting) {
+  auto op = serving_operator();
+  const index_t n = op->size();
+  CoalescerOptions o;
+  o.max_batch = 64;
+  o.max_delay_seconds = 1e9; // nothing flushes on its own
+  o.lanes = 1;
+  Coalescer co(o);
+
+  const Matrix x = test_util::random_matrix(n, 3, 59);
+  Matrix y(n, 3);
+  std::vector<std::future<void>> futs;
+  for (index_t j = 0; j < 3; ++j)
+    futs.push_back(co.submit(op, RequestKind::Matvec,
+                             const_real_span(x.data() + j * n, static_cast<size_t>(n)),
+                             real_span(y.data() + j * n, static_cast<size_t>(n))));
+  co.stop(); // drain-then-reject: queued work completes...
+  for (auto& f : futs) EXPECT_NO_THROW(f.get());
+  // ...and only new submissions are refused.
+  EXPECT_THROW((void)co.submit(op, RequestKind::Matvec,
+                               const_real_span(x.data(), static_cast<size_t>(n)),
+                               real_span(y.data(), static_cast<size_t>(n))),
+               std::runtime_error);
+}
+
+TEST(LatencyHistogram, EmptyAndDegenerateQuantilesReturnZero) {
+  LatencyHistogram h;
+  // Regression: reporters snapshot operators before any request completes;
+  // every quantile of an empty histogram must be 0, not a bucket midpoint.
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+  EXPECT_EQ(h.quantile(std::numeric_limits<double>::quiet_NaN()), 0.0);
+  h.record(1e-3);
+  EXPECT_EQ(h.quantile(std::numeric_limits<double>::quiet_NaN()), 0.0);
+  EXPECT_GT(h.quantile(0.5), 0.0);
+  h.reset();
+  EXPECT_EQ(h.quantile(0.99), 0.0);
 }
 
 } // namespace
