@@ -1,5 +1,7 @@
 #include "backend/device_backend.hpp"
 
+#include "obs/trace.hpp"
+
 #include <array>
 #include <cstring>
 
@@ -68,6 +70,7 @@ DeviceBuffer DeviceBackend::allocate(std::size_t bytes) {
 
 void DeviceBackend::copy_to_device(void* dst_dev, const void* src_host, std::size_t bytes) {
   if (bytes == 0) return;
+  obs::TraceSpan span("backend", "copy_to_device", "bytes", bytes);
   on_transfer(bytes);
   bytes_to_device_.fetch_add(bytes, std::memory_order_relaxed);
   KernelScope ks(this);
@@ -76,6 +79,7 @@ void DeviceBackend::copy_to_device(void* dst_dev, const void* src_host, std::siz
 
 void DeviceBackend::copy_to_host(void* dst_host, const void* src_dev, std::size_t bytes) {
   if (bytes == 0) return;
+  obs::TraceSpan span("backend", "copy_to_host", "bytes", bytes);
   on_transfer(bytes);
   bytes_to_host_.fetch_add(bytes, std::memory_order_relaxed);
   KernelScope ks(this);
@@ -84,6 +88,7 @@ void DeviceBackend::copy_to_host(void* dst_host, const void* src_dev, std::size_
 
 void DeviceBackend::copy_on_device(void* dst_dev, const void* src_dev, std::size_t bytes) {
   if (bytes == 0) return;
+  obs::TraceSpan span("backend", "copy_on_device", "bytes", bytes);
   on_transfer(bytes);
   bytes_on_device_.fetch_add(bytes, std::memory_order_relaxed);
   KernelScope ks(this);
@@ -92,6 +97,7 @@ void DeviceBackend::copy_on_device(void* dst_dev, const void* src_dev, std::size
 
 void DeviceBackend::fill_zero(void* dst_dev, std::size_t bytes) {
   if (bytes == 0) return;
+  obs::TraceSpan span("backend", "fill_zero", "bytes", bytes);
   on_transfer(bytes);
   bytes_on_device_.fetch_add(bytes, std::memory_order_relaxed);
   KernelScope ks(this);
@@ -121,6 +127,7 @@ std::size_t view_bytes(ConstMatrixView v) {
 
 void DeviceBackend::upload(ConstMatrixView host, MatrixView dev) {
   if (host.empty()) return;
+  obs::TraceSpan span("backend", "upload", "bytes", view_bytes(host));
   on_transfer(view_bytes(host));
   bytes_to_device_.fetch_add(view_bytes(host), std::memory_order_relaxed);
   KernelScope ks(this);
@@ -129,6 +136,7 @@ void DeviceBackend::upload(ConstMatrixView host, MatrixView dev) {
 
 void DeviceBackend::download(ConstMatrixView dev, MatrixView host) {
   if (dev.empty()) return;
+  obs::TraceSpan span("backend", "download", "bytes", view_bytes(dev));
   on_transfer(view_bytes(dev));
   bytes_to_host_.fetch_add(view_bytes(dev), std::memory_order_relaxed);
   KernelScope ks(this);
@@ -137,6 +145,7 @@ void DeviceBackend::download(ConstMatrixView dev, MatrixView host) {
 
 void DeviceBackend::copy_device(ConstMatrixView src, MatrixView dst) {
   if (src.empty()) return;
+  obs::TraceSpan span("backend", "copy_device", "bytes", view_bytes(src));
   on_transfer(view_bytes(src));
   bytes_on_device_.fetch_add(view_bytes(src), std::memory_order_relaxed);
   KernelScope ks(this);
@@ -145,6 +154,7 @@ void DeviceBackend::copy_device(ConstMatrixView src, MatrixView dst) {
 
 void DeviceBackend::fill_zero(MatrixView dev) {
   if (dev.empty()) return;
+  obs::TraceSpan span("backend", "fill_zero", "bytes", view_bytes(dev));
   on_transfer(view_bytes(dev));
   bytes_on_device_.fetch_add(view_bytes(dev), std::memory_order_relaxed);
   KernelScope ks(this);

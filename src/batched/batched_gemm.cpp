@@ -1,5 +1,7 @@
 #include "batched/batched_gemm.hpp"
 
+#include "obs/trace.hpp"
+
 namespace h2sketch::batched {
 
 // The implementations live in the backend dispatch table
@@ -9,6 +11,8 @@ namespace h2sketch::batched {
 void batched_gemm(ExecutionContext& ctx, StreamId stream, real_t alpha,
                   std::vector<ConstMatrixView> a, la::Op op_a, std::vector<ConstMatrixView> b,
                   la::Op op_b, real_t beta, std::vector<MatrixView> c) {
+  obs::ScopedLaunchLabel label("batched_gemm");
+  obs::TraceSpan span("backend", "batched_gemm", "batch", c.size());
   ctx.device().gemm(ctx, stream, alpha, std::move(a), op_a, std::move(b), op_b, beta,
                     std::move(c));
 }
@@ -24,6 +28,8 @@ void batched_gemm(ExecutionContext& ctx, real_t alpha, std::span<const ConstMatr
 void batched_gather_rows(ExecutionContext& ctx, StreamId stream,
                          std::vector<ConstMatrixView> src,
                          std::vector<std::vector<index_t>> rows, std::vector<MatrixView> dst) {
+  obs::ScopedLaunchLabel label("batched_gather_rows");
+  obs::TraceSpan span("backend", "batched_gather_rows", "batch", dst.size());
   ctx.device().gather_rows(ctx, stream, std::move(src), std::move(rows), std::move(dst));
 }
 

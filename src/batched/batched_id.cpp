@@ -1,9 +1,13 @@
 #include "batched/batched_id.hpp"
 
+#include "obs/trace.hpp"
+
 namespace h2sketch::batched {
 
 void batched_row_id(ExecutionContext& ctx, std::span<const ConstMatrixView> y, real_t abs_tol,
                     index_t max_rank, std::span<la::RowID> out) {
+  obs::ScopedLaunchLabel label("batched_row_id");
+  obs::TraceSpan span("backend", "batched_row_id", "batch", y.size());
   ctx.device().row_id(ctx, y, abs_tol, max_rank, out);
 }
 

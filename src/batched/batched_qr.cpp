@@ -1,15 +1,21 @@
 #include "batched/batched_qr.hpp"
 
+#include "obs/trace.hpp"
+
 namespace h2sketch::batched {
 
 void batched_min_r_diag(ExecutionContext& ctx, std::span<const ConstMatrixView> a,
                         std::span<real_t> out) {
+  obs::ScopedLaunchLabel label("batched_min_r_diag");
+  obs::TraceSpan span("backend", "batched_min_r_diag", "batch", a.size());
   ctx.device().min_r_diag(ctx, a, out);
 }
 
 void batched_min_r_diag_update(ExecutionContext& ctx, std::span<const MatrixView> work,
                                std::span<const index_t> factored,
                                std::span<std::vector<real_t>> tau, std::span<real_t> out) {
+  obs::ScopedLaunchLabel label("batched_min_r_diag_update");
+  obs::TraceSpan span("backend", "batched_min_r_diag_update", "batch", work.size());
   ctx.device().min_r_diag_update(ctx, work, factored, tau, out);
 }
 

@@ -1,14 +1,20 @@
 #include "batched/batched_rand.hpp"
 
+#include "obs/trace.hpp"
+
 namespace h2sketch::batched {
 
 void batched_fill_gaussian(ExecutionContext& ctx, MatrixView a, const GaussianStream& stream,
                            std::uint64_t offset) {
+  obs::ScopedLaunchLabel label("batched_fill_gaussian");
+  obs::TraceSpan span("backend", "batched_fill_gaussian");
   ctx.device().fill_gaussian(ctx, a, stream, offset);
 }
 
 void batched_fill_gaussian(ExecutionContext& ctx, std::span<const MatrixView> blocks,
                            const GaussianStream& stream, std::span<const std::uint64_t> offsets) {
+  obs::ScopedLaunchLabel label("batched_fill_gaussian");
+  obs::TraceSpan span("backend", "batched_fill_gaussian", "batch", blocks.size());
   ctx.device().fill_gaussian_blocks(ctx, blocks, stream, offsets);
 }
 

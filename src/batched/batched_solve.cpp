@@ -1,13 +1,19 @@
 #include "batched/batched_solve.hpp"
 
+#include "obs/trace.hpp"
+
 namespace h2sketch::batched {
 
 void batched_potrf(ExecutionContext& ctx, StreamId stream, std::vector<MatrixView> a) {
+  obs::ScopedLaunchLabel label("batched_potrf");
+  obs::TraceSpan span("backend", "batched_potrf", "batch", a.size());
   ctx.device().potrf(ctx, stream, std::move(a));
 }
 
 void batched_trsm_lower(ExecutionContext& ctx, StreamId stream, TrsmSide side, la::Op op,
                         std::vector<ConstMatrixView> l, std::vector<MatrixView> b) {
+  obs::ScopedLaunchLabel label("batched_trsm_lower");
+  obs::TraceSpan span("backend", "batched_trsm_lower", "batch", b.size());
   ctx.device().trsm_lower(ctx, stream, side, op, std::move(l), std::move(b));
 }
 

@@ -1,9 +1,13 @@
 #include "batched/batched_transpose.hpp"
 
+#include "obs/trace.hpp"
+
 namespace h2sketch::batched {
 
 void batched_transpose(ExecutionContext& ctx, std::span<const ConstMatrixView> in,
                        std::span<const MatrixView> out) {
+  obs::ScopedLaunchLabel label("batched_transpose");
+  obs::TraceSpan span("backend", "batched_transpose", "batch", in.size());
   ctx.device().transpose(ctx, in, out);
 }
 

@@ -1,11 +1,15 @@
 #include "batched/bsr_gemm.hpp"
 
+#include "obs/trace.hpp"
+
 namespace h2sketch::batched {
 
 index_t bsr_gemm(ExecutionContext& ctx, StreamId stream, real_t alpha,
                  std::vector<index_t> row_ptr, std::vector<index_t> col,
                  std::vector<ConstMatrixView> blocks, std::vector<ConstMatrixView> x,
                  std::vector<MatrixView> y) {
+  obs::ScopedLaunchLabel label("bsr_gemm");
+  obs::TraceSpan span("backend", "bsr_gemm", "blocks", blocks.size());
   return ctx.device().bsr_gemm(ctx, stream, alpha, std::move(row_ptr), std::move(col),
                                std::move(blocks), std::move(x), std::move(y));
 }

@@ -56,11 +56,28 @@ void ExecutionContext::record_stream_error(StreamId s, std::exception_ptr e) {
   if (!st.error) st.error = std::move(e);
 }
 
+void ExecutionContext::record_launch_event(StreamId s, const char* label, std::int64_t start_ns,
+                                           index_t batch, index_t chunks) {
+  obs::TraceEvent ev;
+  ev.cat = "runtime";
+  ev.name = label;
+  ev.ts_ns = start_ns;
+  ev.dur_ns = obs::trace_now_ns() - start_ns;
+  ev.tid = stream_track(s);
+  ev.arg_key[0] = "batch";
+  ev.arg_val[0] = static_cast<std::uint64_t>(batch);
+  ev.arg_key[1] = "chunks";
+  ev.arg_val[1] = static_cast<std::uint64_t>(chunks);
+  obs::record_event(ev);
+}
+
 void ExecutionContext::enqueue_launch(StreamId s, std::function<void(index_t)> body,
-                                      std::vector<std::pair<index_t, index_t>> chunks) {
+                                      std::vector<std::pair<index_t, index_t>> chunks,
+                                      const char* label) {
   auto launch = std::make_shared<LaunchState>();
   launch->body = std::move(body);
   launch->chunks = std::move(chunks);
+  launch->label = label;
 
   Stream& st = streams_[static_cast<size_t>(s)];
   bool dispatch_now = false;
@@ -88,10 +105,16 @@ void ExecutionContext::dispatch_front(StreamId s) {
   // cannot reach zero until every chunk has actually run.
   launch->remaining.store(static_cast<index_t>(launch->chunks.size()),
                           std::memory_order_release);
+  if (launch->label) launch->start_ns = obs::trace_now_ns();
   ThreadPool& pool = ThreadPool::global();
   for (const auto& [begin, end] : launch->chunks) {
     pool.submit_detached([this, s, launch, begin = begin, end = end] {
       try {
+        // Per-chunk span on the worker's own track; the whole launch also
+        // gets a span on the stream track at completion.
+        obs::TraceSpan chunk_span("runtime", launch->label ? launch->label : "chunk", "begin",
+                                  static_cast<std::uint64_t>(begin), "end",
+                                  static_cast<std::uint64_t>(end));
         // Chunk bodies are kernel code: unlock the device heap while they
         // run (no-op on host backends).
         backend::KernelScope ks(device_.get());
@@ -106,13 +129,18 @@ void ExecutionContext::dispatch_front(StreamId s) {
 
 void ExecutionContext::launch_complete(StreamId s) {
   Stream& st = streams_[static_cast<size_t>(s)];
+  std::shared_ptr<LaunchState> finished;
   bool more;
   {
     std::lock_guard<std::mutex> lk(st.mu);
+    finished = std::move(st.queue.front());
     st.queue.pop_front();
     more = !st.queue.empty();
     if (!more) st.active = false;
   }
+  if (finished->label && !finished->chunks.empty())
+    record_launch_event(s, finished->label, finished->start_ns, finished->chunks.back().second,
+                        static_cast<index_t>(finished->chunks.size()));
   if (more)
     dispatch_front(s); // FIFO: next launch starts only now
   else

@@ -15,6 +15,7 @@
 #include "common/timer.hpp"
 #include "common/types.hpp"
 #include "common/workspace.hpp"
+#include "obs/trace.hpp"
 
 /// \file device.hpp
 /// The execution model underlying the paper's GPU implementation (§IV-A):
@@ -127,10 +128,19 @@ class ExecutionContext {
   template <typename Cost, typename F>
   void run_batch(StreamId stream, index_t batch, Cost&& cost, F&& f) {
     if (batch <= 0) return;
+    // Launch labels come from the dispatch wrappers' ScopedLaunchLabel
+    // (op names); a non-null label also means "tracing was on at issue
+    // time" — synchronous paths time the work inline, the queued path
+    // stamps the LaunchState and reports at completion.
+    const char* label = obs::trace_enabled() ? launch_trace_label() : nullptr;
     if (backend_ == Backend::Naive) {
       count_stream_launch(stream, batch);
-      backend::KernelScope ks(device_.get());
-      serial_for(batch, f);
+      const std::int64_t t0 = label ? obs::trace_now_ns() : 0;
+      {
+        backend::KernelScope ks(device_.get());
+        serial_for(batch, f);
+      }
+      if (label) record_launch_event(stream, label, t0, batch, batch);
       return;
     }
     count_stream_launch(stream, 1);
@@ -138,18 +148,26 @@ class ExecutionContext {
       // Baseline mode: the pre-stream fork/join launch, synchronous. The
       // calling thread holds the kernel scope; the process-wide unlock
       // covers the forked workers.
-      backend::KernelScope ks(device_.get());
-      h2sketch::parallel_for(batch, f);
+      const std::int64_t t0 = label ? obs::trace_now_ns() : 0;
+      {
+        backend::KernelScope ks(device_.get());
+        h2sketch::parallel_for(batch, f);
+      }
+      if (label) record_launch_event(stream, label, t0, batch, 1);
       return;
     }
     if (ThreadPool::global().width() <= 1 && stream_idle(stream)) {
       // Single lane and nothing queued ahead: run in place, zero overhead.
-      backend::KernelScope ks(device_.get());
-      serial_for(batch, f);
+      const std::int64_t t0 = label ? obs::trace_now_ns() : 0;
+      {
+        backend::KernelScope ks(device_.get());
+        serial_for(batch, f);
+      }
+      if (label) record_launch_event(stream, label, t0, batch, 1);
       return;
     }
     enqueue_launch(stream, std::function<void(index_t)>(std::forward<F>(f)),
-                   cost_chunks(batch, cost));
+                   cost_chunks(batch, cost), label);
   }
 
   /// Uniform-cost stream launch.
@@ -184,6 +202,8 @@ class ExecutionContext {
     std::function<void(index_t)> body;
     std::vector<std::pair<index_t, index_t>> chunks; ///< [begin, end) entry ranges
     std::atomic<index_t> remaining{0};
+    const char* label = nullptr;  ///< trace name (literal); null = not traced
+    std::int64_t start_ns = 0;    ///< dispatch time, stamped in dispatch_front
   };
   struct Stream {
     mutable std::mutex mu;
@@ -196,10 +216,26 @@ class ExecutionContext {
   void count_stream_launch(StreamId s, index_t n);
   bool stream_idle(StreamId s) const;
   void enqueue_launch(StreamId s, std::function<void(index_t)> body,
-                      std::vector<std::pair<index_t, index_t>> chunks);
+                      std::vector<std::pair<index_t, index_t>> chunks, const char* label);
   void dispatch_front(StreamId s);
   void launch_complete(StreamId s);
   void record_stream_error(StreamId s, std::exception_ptr e);
+
+  /// Trace track for (this context, stream s): GPU-timeline-style lanes in
+  /// the exported trace. The exporter decomposes the tid back into
+  /// ctx/stream, so the strides must agree.
+  static_assert(kNumStreams == obs::kStreamsPerContext,
+                "trace exporter stream-track naming is out of sync with kNumStreams");
+  std::int32_t stream_track(StreamId s) const {
+    return obs::kStreamTrackBase + trace_ctx_id_ * kNumStreams + s;
+  }
+  static const char* launch_trace_label() {
+    const char* l = obs::launch_label();
+    return l ? l : "launch";
+  }
+  /// Emit one completed-launch span on the stream track.
+  void record_launch_event(StreamId s, const char* label, std::int64_t start_ns, index_t batch,
+                           index_t chunks);
 
   /// Greedy cost-balanced chunking: pack entries in order until a chunk
   /// reaches the target cost — total/kLaunchFanout, floored at 4x the mean
@@ -235,6 +271,7 @@ class ExecutionContext {
 
   std::shared_ptr<backend::DeviceBackend> device_;
   Backend backend_;
+  std::int32_t trace_ctx_id_ = obs::next_trace_ctx_id();
   std::atomic<index_t> launches_{0};
   std::array<Stream, static_cast<size_t>(kNumStreams)> streams_;
   Workspace workspace_;

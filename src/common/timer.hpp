@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "obs/trace.hpp"
 
 /// \file timer.hpp
 /// Wall-clock timing and the per-phase profiler used to reproduce the
@@ -66,10 +67,13 @@ class PhaseProfiler {
   std::array<double, static_cast<size_t>(Phase::kCount)> acc_{};
 };
 
-/// RAII phase timer: adds the scope's wall time to the profiler on exit.
+/// RAII phase timer: adds the scope's wall time to the profiler on exit,
+/// and doubles as a trace span (category "construction", named by phase) so
+/// Fig. 7-style breakdowns can be read straight off a captured trace.
 class PhaseScope {
  public:
-  PhaseScope(PhaseProfiler& prof, Phase p) : prof_(prof), phase_(p), start_(wall_seconds()) {}
+  PhaseScope(PhaseProfiler& prof, Phase p)
+      : prof_(prof), phase_(p), span_("construction", phase_name(p)), start_(wall_seconds()) {}
   ~PhaseScope() { prof_.add(phase_, wall_seconds() - start_); }
   PhaseScope(const PhaseScope&) = delete;
   PhaseScope& operator=(const PhaseScope&) = delete;
@@ -77,6 +81,7 @@ class PhaseScope {
  private:
   PhaseProfiler& prof_;
   Phase phase_;
+  obs::TraceSpan span_;
   double start_;
 };
 

@@ -6,6 +6,7 @@
 #include "batched/bsr_gemm.hpp"
 #include "core/builder.hpp"
 #include "la/blas.hpp"
+#include "obs/metrics.hpp"
 
 /// \file adaptive.cpp
 /// Sampling, the updateSamples upsweep, and the convergence test of
@@ -276,6 +277,12 @@ bool H2SketchBuilder::level_converged(index_t level) {
   std::vector<real_t> mins(static_cast<size_t>(nodes));
   batched::batched_min_r_diag_update(ctx_, work, factored, probe_tau_, mins);
   probe_cols_ = d_total_;
+  // The adaptive loop's residual estimates (per-node min |R_ii| of the
+  // probe) feed the process-wide sketch: long-running builders report
+  // residual quantiles without storing per-node samples.
+  obs::SketchMetric& residual_sketch =
+      obs::MetricsRegistry::global().sketch("construction_probe_residual");
+  for (index_t i = 0; i < nodes; ++i) residual_sketch.record(mins[static_cast<size_t>(i)]);
   const real_t eps = eps_abs();
   for (index_t i = 0; i < nodes; ++i) {
     const index_t m = yloc_[ul][static_cast<size_t>(i)].rows();

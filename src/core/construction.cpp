@@ -6,6 +6,7 @@
 #include "batched/batched_id.hpp"
 #include "core/builder.hpp"
 #include "la/blas.hpp"
+#include "obs/metrics.hpp"
 
 namespace h2sketch::core {
 
@@ -121,11 +122,14 @@ void H2SketchBuilder::skeletonize_level(index_t level) {
   // Store bases / transfers, ranks, skeleton index sets.
   {
     PhaseScope scope(stats_.phases, Phase::Misc);
+    obs::SketchMetric& rank_sketch =
+        obs::MetricsRegistry::global().sketch("construction_block_rank");
     for (index_t i = 0; i < nodes; ++i) {
       const auto ui = static_cast<size_t>(i);
       la::RowID& id = ids[ui];
       const index_t k = static_cast<index_t>(id.skeleton.size());
       out_.ranks[ul][ui] = k;
+      rank_sketch.record(static_cast<double>(k));
       out_.basis[ul][ui] = std::move(id.interp);
       jlocal_[ul][ui] = id.skeleton;
 
@@ -256,6 +260,17 @@ void H2SketchBuilder::finalize_stats(double t0) {
           std::max(stats_.max_rank_per_level[static_cast<size_t>(l)], out_.rank(l, i));
   stats_.memory_bytes = out_.memory_bytes();
   stats_.csp = out_.mtree.csp();
+
+  // Construction stats join the process-wide snapshot (ROADMAP item 4):
+  // launch counts sit next to the serve/fault counters, and the rank and
+  // residual sketches recorded along the way summarize per-block behavior.
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("construction_runs").add();
+  reg.counter("construction_kernel_launches").add(
+      static_cast<std::uint64_t>(stats_.kernel_launches));
+  reg.counter("construction_samples").add(static_cast<std::uint64_t>(stats_.total_samples));
+  reg.counter("construction_nonconverged_nodes")
+      .add(static_cast<std::uint64_t>(stats_.nonconverged_nodes));
 }
 
 } // namespace detail

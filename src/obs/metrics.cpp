@@ -1,0 +1,228 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+namespace h2sketch::obs {
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string sanitize_prom(const std::string& name) {
+  std::string out = name;
+  for (char& c : out)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != ':') c = '_';
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out.front()))) out.insert(0, "_");
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+} // namespace
+
+SketchSummary summarize(const QuantileSketch& sk) {
+  SketchSummary s;
+  s.count = sk.count();
+  if (sk.empty()) return s;
+  s.min = sk.min();
+  s.max = sk.max();
+  s.p50 = sk.quantile(0.50);
+  s.p90 = sk.quantile(0.90);
+  s.p99 = sk.quantile(0.99);
+  return s;
+}
+
+const std::uint64_t* RegistrySnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return &v;
+  return nullptr;
+}
+
+const double* RegistrySnapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges)
+    if (n == name) return &v;
+  return nullptr;
+}
+
+const SketchSummary* RegistrySnapshot::sketch(std::string_view name) const {
+  for (const auto& [n, v] : sketches)
+    if (n == name) return &v;
+  return nullptr;
+}
+
+std::string RegistrySnapshot::to_prometheus() const {
+  std::ostringstream os;
+  for (const auto& [name, v] : counters) {
+    const std::string n = sanitize_prom(name);
+    os << "# TYPE " << n << " counter\n" << n << " " << v << "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string n = sanitize_prom(name);
+    os << "# TYPE " << n << " gauge\n" << n << " " << v << "\n";
+  }
+  for (const auto& [name, s] : sketches) {
+    const std::string n = sanitize_prom(name);
+    os << "# TYPE " << n << " summary\n";
+    os << n << "{quantile=\"0.5\"} " << s.p50 << "\n";
+    os << n << "{quantile=\"0.9\"} " << s.p90 << "\n";
+    os << n << "{quantile=\"0.99\"} " << s.p99 << "\n";
+    os << n << "_count " << s.count << "\n";
+    os << n << "_min " << s.min << "\n";
+    os << n << "_max " << s.max << "\n";
+  }
+  return os.str();
+}
+
+std::string RegistrySnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i)
+    os << (i ? "," : "") << "\n    \"" << counters[i].first << "\": " << counters[i].second;
+  os << "\n  },\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i)
+    os << (i ? "," : "") << "\n    \"" << gauges[i].first
+       << "\": " << json_number(gauges[i].second);
+  os << "\n  },\n  \"sketches\": {";
+  for (std::size_t i = 0; i < sketches.size(); ++i) {
+    const auto& [name, s] = sketches[i];
+    os << (i ? "," : "") << "\n    \"" << name << "\": {\"count\": " << s.count
+       << ", \"min\": " << json_number(s.min) << ", \"max\": " << json_number(s.max)
+       << ", \"p50\": " << json_number(s.p50) << ", \"p90\": " << json_number(s.p90)
+       << ", \"p99\": " << json_number(s.p99) << "}";
+  }
+  os << "\n  }\n}\n";
+  return os.str();
+}
+
+void SnapshotBuilder::counter(const std::string& name, std::uint64_t v) {
+  counters_[name] += v; // duplicate emitters (e.g. two caches) sum
+}
+
+void SnapshotBuilder::gauge(const std::string& name, double v) { gauges_[name] = v; }
+
+void SnapshotBuilder::sketch(const std::string& name, const QuantileSketch& sk) {
+  auto it = sketches_.find(name);
+  if (it == sketches_.end())
+    sketches_.emplace(name, sk);
+  else
+    it->second.merge(sk);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked: instrument references handed to other leaked singletons
+  // (backends, thread pool) must outlive static destruction.
+  static MetricsRegistry* reg = new MetricsRegistry;
+  return *reg;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counter_names_.find(name);
+  if (it != counter_names_.end()) return *it->second;
+  Counter& c = counters_.emplace_back();
+  counter_names_.emplace(std::string(name), &c);
+  return c;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauge_names_.find(name);
+  if (it != gauge_names_.end()) return *it->second;
+  Gauge& g = gauges_.emplace_back();
+  gauge_names_.emplace(std::string(name), &g);
+  return g;
+}
+
+SketchMetric& MetricsRegistry::sketch(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sketch_names_.find(name);
+  if (it != sketch_names_.end()) return *it->second;
+  SketchMetric& s = sketches_.emplace_back();
+  sketch_names_.emplace(std::string(name), &s);
+  return s;
+}
+
+std::uint64_t MetricsRegistry::add_collector(Collector fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void MetricsRegistry::remove_collector(std::uint64_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::erase_if(collectors_, [id](const auto& p) { return p.first == id; });
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  SnapshotBuilder b;
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [name, c] : counter_names_) b.counter(name, c->value());
+    for (const auto& [name, g] : gauge_names_) b.gauge(name, g->value());
+    for (const auto& [name, s] : sketch_names_) b.sketch(name, s->snapshot());
+    collectors.reserve(collectors_.size());
+    for (const auto& [id, fn] : collectors_) collectors.push_back(fn);
+  }
+  // Collectors run unlocked: they may call back into counter()/sketch().
+  for (const auto& fn : collectors) fn(b);
+
+  RegistrySnapshot snap;
+  snap.counters.assign(b.counters_.begin(), b.counters_.end());
+  snap.gauges.assign(b.gauges_.begin(), b.gauges_.end());
+  snap.sketches.reserve(b.sketches_.size());
+  for (const auto& [name, sk] : b.sketches_) snap.sketches.emplace_back(name, summarize(sk));
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  counter_names_.clear();
+  gauge_names_.clear();
+  sketch_names_.clear();
+  counters_.clear();
+  gauges_.clear();
+  sketches_.clear();
+  collectors_.clear();
+}
+
+PeriodicReporter::PeriodicReporter(MetricsRegistry& reg, double interval_seconds,
+                                   std::function<void(const RegistrySnapshot&)> sink)
+    : reg_(reg), interval_(interval_seconds), sink_(std::move(sink)) {
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      cv_.wait_for(lk, std::chrono::duration<double>(interval_), [this] { return stopping_; });
+      const bool last = stopping_;
+      lk.unlock();
+      sink_(reg_.snapshot());
+      lk.lock();
+      if (last) return;
+    }
+  });
+}
+
+PeriodicReporter::~PeriodicReporter() { stop(); }
+
+void PeriodicReporter::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return;
+    stopping_ = true;
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+} // namespace h2sketch::obs

@@ -1,0 +1,185 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/quantile_sketch.hpp"
+
+/// \file metrics.hpp
+/// Process-wide metrics registry: one namespace of named counters, gauges
+/// and quantile sketches, plus pull-style collectors that fold the stack's
+/// pre-existing stat islands (DeviceStatsSnapshot, CacheStats,
+/// MetricsSnapshot, fault counters, ConstructionStats) into a single
+/// `snapshot()` with Prometheus-text and JSON exporters.
+///
+/// Two write paths:
+///  - Push: layers grab a `Counter&`/`Gauge&`/`SketchMetric&` once (stable
+///    address for the registry's lifetime) and hit it lock-free on the hot
+///    path.
+///  - Pull: subsystems that already keep their own atomics register a
+///    collector callback; `snapshot()` invokes it to translate their native
+///    stats into named metrics. Collectors from independent subsystems may
+///    emit the same name — counters sum, gauges keep the last value,
+///    sketches merge.
+
+namespace h2sketch::obs {
+
+/// Monotonic lock-free counter.
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-value-wins gauge.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Mutex-guarded quantile sketch: `record` is a short critical section
+/// (amortized O(1) sketch update), cheap enough for per-request rates but
+/// kept off per-element inner loops.
+class SketchMetric {
+ public:
+  void record(double v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    sk_.update(v);
+  }
+  void merge(const QuantileSketch& other) {
+    std::lock_guard<std::mutex> lk(mu_);
+    sk_.merge(other);
+  }
+  QuantileSketch snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return sk_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  QuantileSketch sk_;
+};
+
+/// Point-in-time digest of one sketch.
+struct SketchSummary {
+  std::uint64_t count = 0;
+  double min = 0.0, max = 0.0;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+};
+SketchSummary summarize(const QuantileSketch& sk);
+
+/// Immutable snapshot of every metric, ordered by name.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, SketchSummary>> sketches;
+
+  /// Lookup helpers (nullptr when absent) — mainly for tests.
+  const std::uint64_t* counter(std::string_view name) const;
+  const double* gauge(std::string_view name) const;
+  const SketchSummary* sketch(std::string_view name) const;
+
+  /// Prometheus text exposition: counters as `<name> <v>`, sketches as
+  /// summary-style `<name>{quantile="0.5"} <v>` + `_count`/`_min`/`_max`.
+  std::string to_prometheus() const;
+  std::string to_json() const;
+};
+
+/// Collectors receive a builder and emit named metrics into the snapshot.
+class SnapshotBuilder {
+ public:
+  void counter(const std::string& name, std::uint64_t v);
+  void gauge(const std::string& name, double v);
+  void sketch(const std::string& name, const QuantileSketch& sk);
+
+ private:
+  friend class MetricsRegistry;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, QuantileSketch> sketches_;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every layer reports into.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create by name. References stay valid for the registry's
+  /// lifetime (instruments live in deques behind the name map).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  SketchMetric& sketch(std::string_view name);
+
+  using Collector = std::function<void(SnapshotBuilder&)>;
+  /// Register a pull collector; returns an id for remove_collector.
+  /// Collectors run during snapshot() WITHOUT the registry mutex held, so
+  /// they may freely touch registry instruments.
+  std::uint64_t add_collector(Collector fn);
+  void remove_collector(std::uint64_t id);
+
+  /// Gather pushed instruments + all collector output into one snapshot.
+  RegistrySnapshot snapshot() const;
+
+  /// Drop all instruments and collectors (tests only — outstanding
+  /// references dangle).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Counter*, std::less<>> counter_names_;
+  std::map<std::string, Gauge*, std::less<>> gauge_names_;
+  std::map<std::string, SketchMetric*, std::less<>> sketch_names_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<SketchMetric> sketches_;
+  std::uint64_t next_collector_id_ = 1;
+  std::vector<std::pair<std::uint64_t, Collector>> collectors_;
+};
+
+/// Periodically snapshots a registry and hands the result to a sink —
+/// the hook long-running serving processes use to push metrics at a
+/// scraper/logger. The sink runs on the reporter thread.
+class PeriodicReporter {
+ public:
+  PeriodicReporter(MetricsRegistry& reg, double interval_seconds,
+                   std::function<void(const RegistrySnapshot&)> sink);
+  ~PeriodicReporter();
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+  /// Stop the reporter thread (idempotent). One final snapshot is emitted
+  /// on stop so short-lived processes still report.
+  void stop();
+
+ private:
+  MetricsRegistry& reg_;
+  double interval_;
+  std::function<void(const RegistrySnapshot&)> sink_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+} // namespace h2sketch::obs

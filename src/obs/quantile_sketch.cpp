@@ -1,0 +1,176 @@
+#include "obs/quantile_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace h2sketch::obs {
+
+namespace {
+
+/// splitmix64: the repo's standard cheap deterministic stream (same
+/// generator the fault scheduler and samplers evolve).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+} // namespace
+
+QuantileSketch::QuantileSketch(int k, std::uint64_t seed) : k_(k), rng_state_(seed) {
+  H2S_CHECK(k >= 8, "QuantileSketch: k must be >= 8 (got " << k << ")");
+  levels_.emplace_back();
+  levels_.front().reserve(static_cast<std::size_t>(k_));
+}
+
+std::uint64_t QuantileSketch::next_random() { return splitmix64(rng_state_); }
+
+std::size_t QuantileSketch::level_capacity(std::size_t level) const {
+  // Top level holds k, each step toward level 0 shrinks by 2/3, floor 8.
+  double cap = static_cast<double>(k_);
+  for (std::size_t d = level + 1; d < levels_.size(); ++d) cap *= 2.0 / 3.0;
+  return std::max<std::size_t>(8, static_cast<std::size_t>(std::ceil(cap)));
+}
+
+std::size_t QuantileSketch::total_capacity() const {
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < levels_.size(); ++l) total += level_capacity(l);
+  return total;
+}
+
+std::size_t QuantileSketch::retained() const {
+  std::size_t total = 0;
+  for (const auto& lvl : levels_) total += lvl.size();
+  return total;
+}
+
+void QuantileSketch::update(double v) {
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++n_;
+  levels_.front().push_back(v);
+  if (retained() > total_capacity()) compress();
+}
+
+void QuantileSketch::compress() {
+  while (retained() > total_capacity()) {
+    // Compact the lowest level that is individually over capacity; if the
+    // overflow is spread out, take the lowest non-trivial level.
+    std::size_t target = levels_.size();
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      if (levels_[l].size() > level_capacity(l)) {
+        target = l;
+        break;
+      }
+    }
+    if (target == levels_.size()) {
+      for (std::size_t l = 0; l < levels_.size(); ++l) {
+        if (levels_[l].size() >= 2) {
+          target = l;
+          break;
+        }
+      }
+    }
+    if (target == levels_.size()) return; // nothing compactable
+    // Grow the stack before binding references: emplace_back may reallocate
+    // levels_ and would dangle them.
+    if (target + 1 == levels_.size()) levels_.emplace_back();
+    auto& items = levels_[target];
+    std::sort(items.begin(), items.end());
+    auto& up = levels_[target + 1];
+    const std::size_t offset = next_random() & 1u;
+    // Keep every other item starting at a random parity: survivors carry
+    // doubled weight one level up, discarded items cancel in expectation.
+    for (std::size_t i = offset; i < items.size(); i += 2) up.push_back(items[i]);
+    const bool leftover = (items.size() % 2 == 1) && offset == 1;
+    const double tail = leftover ? items.back() : 0.0;
+    items.clear();
+    if (leftover) items.push_back(tail); // odd straggler stays at its weight
+    std::sort(up.begin(), up.end());
+  }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  n_ += other.n_;
+  if (other.levels_.size() > levels_.size()) levels_.resize(other.levels_.size());
+  for (std::size_t l = 0; l < other.levels_.size(); ++l) {
+    auto& dst = levels_[l];
+    const auto& src = other.levels_[l];
+    dst.insert(dst.end(), src.begin(), src.end());
+    if (l > 0) std::sort(dst.begin(), dst.end());
+  }
+  if (retained() > total_capacity()) compress();
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (n_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  // Gather (value, weight) pairs; level l items each stand in for 2^l
+  // stream values.
+  std::vector<std::pair<double, std::uint64_t>> weighted;
+  weighted.reserve(retained());
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const auto w = static_cast<std::uint64_t>(1) << l;
+    for (double v : levels_[l]) weighted.emplace_back(v, w);
+  }
+  std::sort(weighted.begin(), weighted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::uint64_t total = 0;
+  for (const auto& [v, w] : weighted) total += w;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (const auto& [v, w] : weighted) {
+    cum += w;
+    if (static_cast<double>(cum) >= target) return std::clamp(v, min_, max_);
+  }
+  return max_;
+}
+
+double QuantileSketch::rank(double v) const {
+  if (n_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  std::uint64_t below = 0, total = 0;
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const auto w = static_cast<std::uint64_t>(1) << l;
+    for (double x : levels_[l]) {
+      total += w;
+      if (x <= v) below += w;
+    }
+  }
+  return total == 0 ? std::numeric_limits<double>::quiet_NaN()
+                    : static_cast<double>(below) / static_cast<double>(total);
+}
+
+double QuantileSketch::min() const {
+  return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+
+double QuantileSketch::max() const {
+  return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
+
+void QuantileSketch::reset() {
+  n_ = 0;
+  min_ = max_ = 0.0;
+  levels_.clear();
+  levels_.emplace_back();
+  levels_.front().reserve(static_cast<std::size_t>(k_));
+}
+
+} // namespace h2sketch::obs

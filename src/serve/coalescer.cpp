@@ -10,6 +10,8 @@
 #include "common/check.hpp"
 #include "common/matrix.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace h2sketch::serve {
 
@@ -52,6 +54,9 @@ std::future<void> Coalescer::submit(OperatorHandle op, RequestKind kind, const_r
 
   r.enqueue_time = clock_->now();
   op->metrics->requests.fetch_add(1, std::memory_order_relaxed);
+  obs::trace_instant("serve", "admit", "op",
+                     static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(op.id())), "kind",
+                     static_cast<std::uint64_t>(kind));
   auto fut = r.done.get_future();
   const GroupKey key{op.id(), static_cast<int>(kind)};
   r.op = std::move(op);
@@ -158,6 +163,8 @@ index_t Coalescer::execute_batch(Batch batch, ContextMap& ctxs) {
   const index_t n = op.size();
 
   try {
+    obs::TraceSpan flush_span("serve", "flush", "rhs", static_cast<std::uint64_t>(k), "full",
+                              batch.full ? 1 : 0);
     // Marshal the single-RHS payloads into one N x k block...
     Matrix b(n, k), y(n, k);
     for (index_t j = 0; j < k; ++j)
@@ -175,11 +182,13 @@ index_t Coalescer::execute_batch(Batch batch, ContextMap& ctxs) {
       const std::string degraded{backend::degraded_backend_name(op.backend)};
       if (!e.retryable() || degraded == op.backend) throw;
       op.metrics->launch_failures.fetch_add(1, std::memory_order_relaxed);
+      obs::trace_instant("serve", "degraded_retry", "rhs", static_cast<std::uint64_t>(k));
       launch_batch(batch, ctxs, b.view(), y.view(), degraded);
       op.metrics->degraded_launches.fetch_add(1, std::memory_order_relaxed);
     }
 
     // ...and scatter back out.
+    obs::TraceSpan scatter_span("serve", "scatter", "rhs", static_cast<std::uint64_t>(k));
     for (index_t j = 0; j < k; ++j)
       std::memcpy(batch.reqs[static_cast<size_t>(j)].y.data(), y.data() + j * n,
                   static_cast<std::size_t>(n) * sizeof(real_t));
@@ -197,8 +206,16 @@ index_t Coalescer::execute_batch(Batch batch, ContextMap& ctxs) {
   kind_counter.fetch_add(static_cast<std::uint64_t>(k), std::memory_order_relaxed);
 
   const double now = clock_->now();
+  // Request latencies feed both recorders: the lock-free histogram (cheap,
+  // 19% bucket error) and the KLL sketches (per-op + process-wide, ~1% rank
+  // error) that back MetricsSnapshot::sketch_p50/p99.
+  obs::SketchMetric& global_latency =
+      obs::MetricsRegistry::global().sketch("serve_request_latency_seconds");
   for (auto& r : batch.reqs) {
-    op.metrics->latency.record(now - r.enqueue_time);
+    const double latency = now - r.enqueue_time;
+    op.metrics->latency.record(latency);
+    op.metrics->latency_sketch.record(latency);
+    global_latency.record(latency);
     r.done.set_value();
   }
   return k;

@@ -13,6 +13,8 @@
 #include "common/check.hpp"
 #include "kernels/dense_sampler.hpp"
 #include "kernels/entry_gen.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "solver/hss_construction.hpp"
 #include "tree/cluster_tree.hpp"
 
@@ -58,7 +60,49 @@ std::size_t OperatorKeyHash::operator()(const OperatorKey& k) const {
 OperatorCache::OperatorCache(CacheOptions opts) : opts_([&] {
   if (!opts.clock) opts.clock = std::make_shared<SteadyClock>();
   return std::move(opts);
-}()) {}
+}()) {
+  // Pull collector: fold this cache's stats (and the resident operators'
+  // serving counters) into the process-wide snapshot. Counters from
+  // multiple caches sum in the builder; resident aggregates shrink when an
+  // operator is evicted, so they are scoped to what is currently cached.
+  collector_id_ = obs::MetricsRegistry::global().add_collector([this](obs::SnapshotBuilder& b) {
+    std::lock_guard<std::mutex> lk(mu_);
+    b.counter("serve_cache_hits", stats_.hits);
+    b.counter("serve_cache_misses", stats_.misses);
+    b.counter("serve_cache_builds", stats_.builds);
+    b.counter("serve_cache_evictions", stats_.evictions);
+    b.counter("serve_cache_eviction_skips", stats_.eviction_skips);
+    b.counter("serve_cache_build_retries", stats_.build_retries);
+    b.counter("serve_cache_build_failures", stats_.build_failures);
+    b.counter("serve_cache_cooldown_rejects", stats_.cooldown_rejects);
+    b.counter("serve_cache_oom_evictions", stats_.oom_evictions);
+    b.gauge("serve_cache_bytes", static_cast<double>(stats_.bytes_cached));
+    b.gauge("serve_cache_operators", static_cast<double>(map_.size()));
+    std::uint64_t requests = 0, batches = 0, rhs = 0, failures = 0, degraded = 0, expired = 0,
+                  launches = 0;
+    for (const auto& [key, e] : map_) {
+      const OperatorMetrics& m = *e->op.metrics;
+      requests += m.requests.load(std::memory_order_relaxed);
+      batches += m.batches.load(std::memory_order_relaxed);
+      rhs += m.coalesced_rhs.load(std::memory_order_relaxed);
+      failures += m.launch_failures.load(std::memory_order_relaxed);
+      degraded += m.degraded_launches.load(std::memory_order_relaxed);
+      expired += m.deadline_expired.load(std::memory_order_relaxed);
+      launches += static_cast<std::uint64_t>(e->op.build_stats.kernel_launches);
+    }
+    b.counter("serve_requests", requests);
+    b.counter("serve_batches", batches);
+    b.counter("serve_coalesced_rhs", rhs);
+    b.counter("serve_launch_failures", failures);
+    b.counter("serve_degraded_launches", degraded);
+    b.counter("serve_deadline_expired", expired);
+    b.counter("serve_resident_build_launches", launches);
+  });
+}
+
+OperatorCache::~OperatorCache() {
+  obs::MetricsRegistry::global().remove_collector(collector_id_);
+}
 
 ServedOperator OperatorCache::build_with_recovery(const Builder& build) {
   int attempt = 0;
@@ -82,6 +126,7 @@ ServedOperator OperatorCache::build_with_recovery(const Builder& build) {
       std::lock_guard<std::mutex> lk(mu_);
       ++stats_.build_retries;
     }
+    obs::trace_instant("serve", "build_retry", "attempt", static_cast<std::uint64_t>(attempt));
     const double delay = std::min(opts_.backoff_max_seconds,
                                   opts_.backoff_initial_seconds * std::exp2(attempt - 1));
     if (opts_.sleep_fn)
@@ -131,6 +176,7 @@ OperatorHandle OperatorCache::acquire(const OperatorKey& key, const Builder& bui
 
   EntryPtr entry;
   try {
+    obs::TraceSpan build_span("serve", "operator_build");
     entry = std::make_shared<detail::CacheEntry>();
     entry->op = build_with_recovery(build);
     if (entry->op.bytes == 0)
@@ -188,6 +234,8 @@ void OperatorCache::evict_locked() {
     if (victim == map_.end()) return; // everything resident is pinned; stay over budget
     stats_.bytes_cached -= victim->second->op.bytes;
     ++stats_.evictions;
+    obs::trace_instant("serve", "evict", "bytes",
+                       static_cast<std::uint64_t>(victim->second->op.bytes));
     map_.erase(victim);
   }
 }
@@ -207,6 +255,8 @@ bool OperatorCache::free_bytes_for_oom(std::size_t requested) {
     stats_.bytes_cached -= victim->second->op.bytes;
     ++stats_.evictions;
     ++stats_.oom_evictions;
+    obs::trace_instant("serve", "oom_evict", "bytes",
+                       static_cast<std::uint64_t>(victim->second->op.bytes));
     map_.erase(victim);
   }
   return freed > 0;

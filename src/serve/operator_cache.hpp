@@ -161,6 +161,9 @@ class OperatorCache {
   /// byte_budget 0 = unbounded (never evicts).
   explicit OperatorCache(std::size_t byte_budget = 0)
       : OperatorCache(CacheOptions{.byte_budget = byte_budget}) {}
+  ~OperatorCache();
+  OperatorCache(const OperatorCache&) = delete;
+  OperatorCache& operator=(const OperatorCache&) = delete;
 
   /// Return a handle for `key`, invoking `build` on a miss. Concurrent
   /// misses on one key run a single build; a build that throws propagates
@@ -205,6 +208,7 @@ class OperatorCache {
   std::unordered_map<OperatorKey, FailedBuild, OperatorKeyHash> failed_;
   std::uint64_t use_clock_ = 0;
   CacheStats stats_;
+  std::uint64_t collector_id_ = 0; ///< metrics-registry pull collector
 };
 
 /// Build inputs for the stock kernel-matrix serving operator.

@@ -67,6 +67,11 @@ MetricsSnapshot OperatorMetrics::snapshot() const {
   s.deadline_expired = deadline_expired.load(std::memory_order_relaxed);
   s.p50_seconds = latency.quantile(0.50);
   s.p99_seconds = latency.quantile(0.99);
+  const obs::QuantileSketch sk = latency_sketch.snapshot();
+  if (!sk.empty()) {
+    s.sketch_p50_seconds = sk.quantile(0.50);
+    s.sketch_p99_seconds = sk.quantile(0.99);
+  }
   return s;
 }
 

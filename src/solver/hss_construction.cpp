@@ -11,6 +11,7 @@
 #include "batched/batched_rand.hpp"
 #include "common/random.hpp"
 #include "la/blas.hpp"
+#include "obs/metrics.hpp"
 
 namespace h2sketch::solver {
 
@@ -261,11 +262,14 @@ class HssBuilder {
 
     {
       PhaseScope scope(stats_.phases, Phase::Misc);
+      obs::SketchMetric& rank_sketch =
+          obs::MetricsRegistry::global().sketch("construction_block_rank");
       for (index_t i = 0; i < nodes; ++i) {
         const auto ui = static_cast<size_t>(i);
         la::RowID& id = ids[ui];
         const index_t k = static_cast<index_t>(id.skeleton.size());
         out_.ranks[ul][ui] = k;
+        rank_sketch.record(static_cast<double>(k));
         out_.generators[ul][ui] = std::move(id.interp);
         jlocal_[ul][ui] = id.skeleton;
 
@@ -427,6 +431,9 @@ class HssBuilder {
     std::vector<real_t> mins(static_cast<size_t>(nodes));
     batched::batched_min_r_diag_update(ctx_, work, factored, probe_tau_, mins);
     probe_cols_ = d_total_;
+    obs::SketchMetric& residual_sketch =
+        obs::MetricsRegistry::global().sketch("construction_probe_residual");
+    for (index_t i = 0; i < nodes; ++i) residual_sketch.record(mins[static_cast<size_t>(i)]);
     const real_t eps = eps_abs();
     for (index_t i = 0; i < nodes; ++i) {
       const index_t m = yloc_[ul][static_cast<size_t>(i)].rows();
@@ -468,6 +475,15 @@ class HssBuilder {
             std::max(stats_.max_rank_per_level[static_cast<size_t>(l)], out_.rank(l, i));
     stats_.memory_bytes = out_.memory_bytes();
     stats_.csp = 1; // weak admissibility: one coupling block per node
+
+    // Same registry feed as the H2 builder (core/construction.cpp).
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("construction_runs").add();
+    reg.counter("construction_kernel_launches")
+        .add(static_cast<std::uint64_t>(stats_.kernel_launches));
+    reg.counter("construction_samples").add(static_cast<std::uint64_t>(stats_.total_samples));
+    reg.counter("construction_nonconverged_nodes")
+        .add(static_cast<std::uint64_t>(stats_.nonconverged_nodes));
   }
 
   std::shared_ptr<const tree::ClusterTree> tree_;

@@ -10,6 +10,8 @@
 #include "batched/batched_solve.hpp"
 #include "la/blas.hpp"
 #include "la/qr.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace h2sketch::solver {
 
@@ -146,6 +148,10 @@ UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx,
   const auto stream = batched::kSampleStream;
   for (index_t l = leaf; l >= 1; --l) {
     const index_t nodes = a.tree->nodes_at(l);
+    // Covers the marshal + launch-issue phase of this level; the batched
+    // work itself shows up on the stream track (FIFO on kSampleStream).
+    obs::TraceSpan level_span("solver", "ulv_level", "level", static_cast<std::uint64_t>(l),
+                              "nodes", static_cast<std::uint64_t>(nodes));
     const auto ul = static_cast<size_t>(l);
     auto& lvl = f.nodes_[ul];
     lvl.resize(static_cast<size_t>(nodes));
@@ -211,6 +217,7 @@ UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx,
   // to the host (four explicit device → host copies), merge and factor the
   // reduced root system densely host-side — the classic small-root-on-host
   // pattern of GPU multilevel factorizations.
+  obs::TraceSpan root_span("solver", "ulv_root");
   ctx.sync(stream);
   const UlvNode& c1 = f.nodes_[1][0];
   const UlvNode& c2 = f.nodes_[1][1];
@@ -233,8 +240,19 @@ UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx,
   real_t ridge = 0.0;
   for (int attempt = 0;; ++attempt) {
     try {
+      obs::TraceSpan attempt_span("solver", "ulv_factor", "attempt",
+                                  static_cast<std::uint64_t>(attempt), "ridged",
+                                  ridge != real_t{0} ? 1 : 0);
       UlvCholesky f = factor_once(ridge);
       f.ridge_ = ridge;
+      // Fault-recovery visibility (ROADMAP item 4): ridge escalations land
+      // in the same registry snapshot as the serve failure counters.
+      auto& reg = obs::MetricsRegistry::global();
+      reg.counter("ulv_factorizations").add();
+      if (ridge != real_t{0}) {
+        reg.counter("ulv_ridge_applied").add();
+        reg.gauge("ulv_last_ridge").set(static_cast<double>(ridge));
+      }
       return f;
     } catch (const NumericalError&) {
       // A non-positive pivot is deterministic -- only escalation (a larger
@@ -243,6 +261,7 @@ UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx,
       // default), far too small to mask genuine indefiniteness: those
       // matrices still fail the last attempt and the error surfaces.
       if (attempt >= opts.max_ridge_retries) throw;
+      obs::MetricsRegistry::global().counter("ulv_ridge_retries").add();
       ridge = ridge == real_t{0} ? opts.ridge_rel * scale : ridge * opts.ridge_growth;
     }
   }
