@@ -27,6 +27,10 @@ struct Run {
   index_t launches_batched = 0, launches_naive = 0, launches_simdevice = 0;
   std::uint64_t bytes_to_device = 0, bytes_to_host = 0, bytes_on_device = 0;
   std::uint64_t device_peak_bytes = 0;
+  /// Steady-state per-apply marshaling (after a warmup matvec): with
+  /// device-resident operators these must equal the x/y panel exactly.
+  std::uint64_t steady_h2d_per_apply = 0, steady_d2h_per_apply = 0, x_panel_bytes = 0;
+  std::uint64_t operator_device_bytes = 0;
 };
 
 } // namespace
@@ -42,7 +46,7 @@ int main(int argc, char** argv) {
 
   Table table("ablation_launches",
               {"N", "levels", "csp", "launches_batched", "launches_naive", "launches_simdev",
-               "ratio", "h2d_MB", "d2h_MB"});
+               "ratio", "h2d_MB", "d2h_MB", "apply_h2d_B", "x_panel_B"});
   table.print_header();
 
   std::vector<Run> runs;
@@ -70,11 +74,23 @@ int main(int argc, char** argv) {
                                  *w.entry_gen, opts, cs);
     // A d=8 matvec on the device-built matrix: the construction itself
     // generates its samples *on* the device (near-zero h2d/d2h), so the
-    // matvec supplies the representative cross-boundary traffic.
+    // matvec supplies the representative cross-boundary traffic. After a
+    // warmup apply (which grows the context workspace once), repeated
+    // applies must move exactly the x panel over and the y panel back —
+    // the operator panels are device-resident.
     {
-      Matrix x(n, 8), y(n, 8);
+      const index_t d = 8;
+      Matrix x(n, d), y(n, d);
       fill_gaussian(x.view(), GaussianStream(7), 0);
-      h2::h2_matvec(cs, rs.matrix, x.view(), y.view());
+      h2::h2_matvec(cs, rs.matrix, x.view(), y.view()); // warmup
+      const int reps = 4;
+      const auto s0 = cs.device().stats();
+      for (int rep = 0; rep < reps; ++rep) h2::h2_matvec(cs, rs.matrix, x.view(), y.view());
+      const auto s1 = cs.device().stats();
+      r.steady_h2d_per_apply = (s1.bytes_to_device - s0.bytes_to_device) / reps;
+      r.steady_d2h_per_apply = (s1.bytes_to_host - s0.bytes_to_host) / reps;
+      r.x_panel_bytes = static_cast<std::uint64_t>(n) * d * sizeof(real_t);
+      r.operator_device_bytes = rs.matrix.device_bytes();
     }
     const auto dstats = cs.device().stats();
 
@@ -95,10 +111,15 @@ int main(int argc, char** argv) {
                        static_cast<double>(std::max<index_t>(1, r.launches_batched)),
                    3),
                fmt(static_cast<double>(r.bytes_to_device) / (1024.0 * 1024.0), 2),
-               fmt(static_cast<double>(r.bytes_to_host) / (1024.0 * 1024.0), 2)});
+               fmt(static_cast<double>(r.bytes_to_host) / (1024.0 * 1024.0), 2),
+               fmt(r.steady_h2d_per_apply), fmt(r.x_panel_bytes)});
 
     if (r.launches_simdevice != r.launches_batched)
       std::cout << "WARNING: simdevice launch count deviates from batched at N=" << n << "\n";
+    if (r.steady_h2d_per_apply != r.x_panel_bytes)
+      std::cout << "WARNING: steady-state apply uploads " << r.steady_h2d_per_apply
+                << " B, expected the x panel only (" << r.x_panel_bytes << " B) at N=" << n
+                << "\n";
   }
 
   const char* json_name =
@@ -111,7 +132,9 @@ int main(int argc, char** argv) {
        << "\",\n  \"note\": \"launches_simdevice must equal launches_batched (the device "
        << "backend changes memory ownership, not launch structure); bytes_* are the "
        << "SimulatedDevice marshaling counters: host->device uploads, device->host "
-       << "downloads, on-device copies/fills\",\n  \"runs\": [\n";
+       << "downloads, on-device copies/fills; steady_* are per-apply deltas after warmup — "
+       << "with device-resident operators they equal x_panel_bytes exactly (apply touches "
+       << "only x/y across the boundary)\",\n  \"runs\": [\n";
   for (size_t i = 0; i < runs.size(); ++i) {
     const Run& r = runs[i];
     json << "    {\"n\": " << r.n << ", \"levels\": " << r.levels << ", \"csp\": " << r.csp
@@ -121,7 +144,11 @@ int main(int argc, char** argv) {
          << ", \"bytes_to_device\": " << r.bytes_to_device
          << ", \"bytes_to_host\": " << r.bytes_to_host
          << ", \"bytes_on_device\": " << r.bytes_on_device
-         << ", \"device_peak_bytes\": " << r.device_peak_bytes << "}"
+         << ", \"device_peak_bytes\": " << r.device_peak_bytes
+         << ", \"steady_bytes_to_device_per_apply\": " << r.steady_h2d_per_apply
+         << ", \"steady_bytes_to_host_per_apply\": " << r.steady_d2h_per_apply
+         << ", \"x_panel_bytes\": " << r.x_panel_bytes
+         << ", \"operator_device_bytes\": " << r.operator_device_bytes << "}"
          << (i + 1 < runs.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";

@@ -294,6 +294,46 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Steady-state residency phase: the same workload built on the simdevice
+  // backend, then repeatedly applied through one context. With
+  // device-resident operators every repeated apply moves exactly the x
+  // panel over and the y panel back — the marshaling cost a PCIe bus would
+  // see per request, independent of operator size.
+  struct SteadyState {
+    std::uint64_t matvec_h2d = 0, matvec_d2h = 0;
+    std::uint64_t solve_h2d = 0, solve_d2h = 0;
+    std::uint64_t panel_bytes = 0, operator_device_bytes = 0;
+  } ss;
+  {
+    std::cout << "\nsteady-state phase: repeated applies on a simdevice-resident operator\n";
+    serve::OperatorHandle dop = cache.acquire(
+        serve::make_operator_key(points, kernel, build, "simdevice"),
+        [&] { return serve::build_served_operator(points, kernel, build, "simdevice"); });
+    auto dev = backend::shared_backend("simdevice").device;
+    batched::ExecutionContext sctx(backend::shared_backend("simdevice"));
+    Matrix sx(n, 1), sy(n, 1);
+    fill_gaussian(sx.view(), GaussianStream(9), 0);
+    dop->matrix.matvec(sctx, sx.view(), sy.view()); // warmup (workspace growth)
+    dop->factor.solve_many(sx.view(), sy.view(), sctx);
+    const int reps = 8;
+    const auto s0 = dev->stats();
+    for (int i = 0; i < reps; ++i) dop->matrix.matvec(sctx, sx.view(), sy.view());
+    const auto s1 = dev->stats();
+    for (int i = 0; i < reps; ++i) dop->factor.solve_many(sx.view(), sy.view(), sctx);
+    const auto s2 = dev->stats();
+    ss.matvec_h2d = (s1.bytes_to_device - s0.bytes_to_device) / reps;
+    ss.matvec_d2h = (s1.bytes_to_host - s0.bytes_to_host) / reps;
+    ss.solve_h2d = (s2.bytes_to_device - s1.bytes_to_device) / reps;
+    ss.solve_d2h = (s2.bytes_to_host - s1.bytes_to_host) / reps;
+    ss.panel_bytes = static_cast<std::uint64_t>(n) * sizeof(real_t);
+    ss.operator_device_bytes = dop->matrix.device_bytes() + dop->factor.device_bytes();
+    std::cout << "  per-apply bytes to device: matvec " << ss.matvec_h2d << ", solve "
+              << ss.solve_h2d << " (x panel = " << ss.panel_bytes << " B); operator holds "
+              << fmt_mb(ss.operator_device_bytes) << " MB device-resident\n";
+    if (ss.matvec_h2d != ss.panel_bytes || ss.solve_h2d != ss.panel_bytes)
+      std::cout << "WARNING: steady-state apply moved more than the x panel\n";
+  }
+
   const char* json_name = smoke ? "BENCH_serving_smoke.json" : "BENCH_serving.json";
   std::ofstream json(json_name);
   json << "{\n  \"bench\": \"serving\",\n  \"mode\": \"" << (smoke ? "smoke" : "full")
@@ -305,7 +345,15 @@ int main(int argc, char** argv) {
        << "context; coalesced = requests batched into one solve_many/blocked-matvec launch per "
        << "tick (max_batch=clients capped at 64, max_delay=2ms, 2 lanes above 8 clients). "
        << "Latencies are client-observed: p50/p99 from the log-bucket histogram (~19% bucket "
-       << "width), sketch_p50/p99 from merged per-client KLL sketches (~1% rank error)\",\n"
+       << "width), sketch_p50/p99 from merged per-client KLL sketches (~1% rank error). "
+       << "steady_state: per-apply host<->device byte deltas after warmup on a "
+       << "simdevice-resident copy of the operator — uploads equal the x panel exactly\",\n"
+       << "  \"steady_state\": {\"matvec_bytes_to_device_per_apply\": " << ss.matvec_h2d
+       << ", \"matvec_bytes_to_host_per_apply\": " << ss.matvec_d2h
+       << ", \"solve_bytes_to_device_per_apply\": " << ss.solve_h2d
+       << ", \"solve_bytes_to_host_per_apply\": " << ss.solve_d2h
+       << ", \"x_panel_bytes\": " << ss.panel_bytes
+       << ", \"operator_device_bytes\": " << ss.operator_device_bytes << "},\n"
        << "  \"runs\": [\n";
   for (size_t i = 0; i < runs.size(); ++i) {
     const Run& r = runs[i];

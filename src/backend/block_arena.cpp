@@ -1,0 +1,131 @@
+#include "backend/block_arena.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace h2sketch::backend {
+
+namespace {
+constexpr std::size_t kSlotAlign = 64;
+
+std::size_t aligned_bytes(index_t rows, index_t cols) {
+  const std::size_t raw = static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols) *
+                          sizeof(real_t);
+  return (raw + kSlotAlign - 1) / kSlotAlign * kSlotAlign;
+}
+} // namespace
+
+void BlockArena::reset(index_t count) {
+  buf_.release();
+  slots_.assign(static_cast<size_t>(count), Slot{});
+  std::lock_guard<std::mutex> lk(mirror_mu_);
+  mirror_.assign(static_cast<size_t>(count), Matrix());
+  mirror_valid_.assign(static_cast<size_t>(count), 0);
+}
+
+void BlockArena::set_shape(index_t i, index_t r, index_t c) {
+  H2S_CHECK(buf_.empty(), "BlockArena: set_shape after allocate");
+  Slot& s = slots_[static_cast<size_t>(i)];
+  s.rows = r;
+  s.cols = c;
+}
+
+void BlockArena::allocate(DeviceBackend& dev) {
+  H2S_CHECK(buf_.empty(), "BlockArena: already allocated");
+  std::size_t off = 0;
+  for (Slot& s : slots_) {
+    s.offset = off;
+    off += aligned_bytes(s.rows, s.cols);
+  }
+  if (off > 0) buf_ = dev.allocate(off);
+  std::lock_guard<std::mutex> lk(mirror_mu_);
+  mirror_valid_.assign(slots_.size(), 0);
+}
+
+void BlockArena::upload(index_t i, ConstMatrixView h) {
+  const Slot& s = slots_[static_cast<size_t>(i)];
+  H2S_CHECK(h.rows == s.rows && h.cols == s.cols, "BlockArena: upload shape mismatch");
+  if (s.rows == 0 || s.cols == 0) return;
+  backend()->upload(h, dev(i));
+  std::lock_guard<std::mutex> lk(mirror_mu_);
+  mirror_valid_[static_cast<size_t>(i)] = 0;
+  mirror_[static_cast<size_t>(i)] = Matrix();
+}
+
+void BlockArena::stage(index_t i, Matrix m) {
+  H2S_CHECK(buf_.empty(), "BlockArena: stage after allocate");
+  Slot& s = slots_[static_cast<size_t>(i)];
+  s.rows = m.rows();
+  s.cols = m.cols();
+  std::lock_guard<std::mutex> lk(mirror_mu_);
+  mirror_[static_cast<size_t>(i)] = std::move(m);
+  mirror_valid_[static_cast<size_t>(i)] = 1;
+}
+
+void BlockArena::commit(DeviceBackend& dev) {
+  H2S_CHECK(buf_.empty(), "BlockArena: already allocated");
+  std::size_t off = 0;
+  for (Slot& s : slots_) {
+    s.offset = off;
+    off += aligned_bytes(s.rows, s.cols);
+  }
+  if (off > 0) buf_ = dev.allocate(off);
+  // Upload every staged block; the mirror stays warm (it *is* the block).
+  std::lock_guard<std::mutex> lk(mirror_mu_);
+  for (index_t i = 0; i < count(); ++i) {
+    const Slot& s = slots_[static_cast<size_t>(i)];
+    if (s.rows == 0 || s.cols == 0) continue;
+    const Matrix& m = mirror_[static_cast<size_t>(i)];
+    H2S_CHECK(mirror_valid_[static_cast<size_t>(i)] != 0 && m.rows() == s.rows &&
+                  m.cols() == s.cols,
+              "BlockArena: commit with unstaged nonempty slot " << i);
+    dev.upload(m.view(), this->dev(i));
+  }
+}
+
+const Matrix& BlockArena::host(index_t i) const {
+  std::lock_guard<std::mutex> lk(mirror_mu_);
+  Matrix& m = mirror_[static_cast<size_t>(i)];
+  if (mirror_valid_[static_cast<size_t>(i)] == 0) {
+    const Slot& s = slots_[static_cast<size_t>(i)];
+    m = Matrix(s.rows, s.cols);
+    if (s.rows > 0 && s.cols > 0) backend()->download(dev(i), m.view());
+    mirror_valid_[static_cast<size_t>(i)] = 1;
+  }
+  return m;
+}
+
+void BlockArena::fill_zero(index_t first, index_t n) {
+  if (n <= 0 || buf_.empty()) return;
+  const Slot& a = slots_[static_cast<size_t>(first)];
+  const Slot& b = slots_[static_cast<size_t>(first + n - 1)];
+  const std::size_t end = b.offset + aligned_bytes(b.rows, b.cols);
+  if (end <= a.offset) return;
+  backend()->fill_zero(static_cast<char*>(buf_.data()) + a.offset, end - a.offset);
+  std::lock_guard<std::mutex> lk(mirror_mu_);
+  for (index_t i = first; i < first + n; ++i) {
+    mirror_valid_[static_cast<size_t>(i)] = 0;
+    mirror_[static_cast<size_t>(i)] = Matrix();
+  }
+}
+
+std::size_t BlockArena::payload_bytes() const {
+  std::size_t bytes = 0;
+  for (const Slot& s : slots_)
+    bytes += static_cast<std::size_t>(s.rows) * static_cast<std::size_t>(s.cols) * sizeof(real_t);
+  return bytes;
+}
+
+void BlockArena::move_from(BlockArena&& o) {
+  std::scoped_lock lk(mirror_mu_, o.mirror_mu_);
+  buf_ = std::move(o.buf_);
+  slots_ = std::move(o.slots_);
+  mirror_ = std::move(o.mirror_);
+  mirror_valid_ = std::move(o.mirror_valid_);
+  o.slots_.clear();
+  o.mirror_.clear();
+  o.mirror_valid_.clear();
+}
+
+} // namespace h2sketch::backend

@@ -107,7 +107,7 @@ void H2SketchBuilder::extend_yloc(index_t level, index_t c0, index_t dn) {
     if (!near.empty()) {
       std::vector<ConstMatrixView> blocks, xv;
       std::vector<MatrixView> yv;
-      for (const auto& d : out_.dense) blocks.push_back(d.view());
+      for (index_t e = 0; e < out_.dense.count(); ++e) blocks.push_back(out_.dense.dev(e));
       for (index_t i = 0; i < nodes; ++i) {
         xv.push_back(
             omega_global_.view().block(tree_->begin(level, i), c0, tree_->size(level, i), dn));
@@ -148,7 +148,8 @@ void H2SketchBuilder::extend_yloc(index_t level, index_t c0, index_t dn) {
   if (!far_child.empty()) {
     std::vector<ConstMatrixView> blocks, xv;
     std::vector<MatrixView> yv;
-    for (const auto& b : out_.coupling[uc]) blocks.push_back(b.view());
+    for (index_t e = 0; e < out_.coupling[uc].count(); ++e)
+      blocks.push_back(out_.coupling[uc].dev(e));
     for (index_t nu = 0; nu < tree_->nodes_at(child_level); ++nu) {
       const auto un = static_cast<size_t>(nu);
       xv.push_back(omega_up_[uc][un].view().col_range(c0, dn));
@@ -197,7 +198,7 @@ void H2SketchBuilder::extend_upswept(index_t level, index_t c0, index_t dn) {
     std::vector<MatrixView> cv;
     for (index_t i = 0; i < nodes; ++i) {
       const auto ui = static_cast<size_t>(i);
-      av.push_back(out_.basis[ul][ui].view());
+      av.push_back(out_.basis[ul].dev(i));
       bv.push_back(
           omega_global_.view().block(tree_->begin(level, i), c0, tree_->size(level, i), dn));
       cv.push_back(omega_up_[ul][ui].view().col_range(c0, dn));
@@ -221,7 +222,7 @@ void H2SketchBuilder::extend_upswept(index_t level, index_t c0, index_t dn) {
           cv.push_back(MatrixView());
           continue;
         }
-        av.push_back(out_.basis[ul][ui].view().block(row0, 0, rs, k));
+        av.push_back(out_.basis[ul].dev(i).block(row0, 0, rs, k));
         bv.push_back(omega_up_[ul + 1][static_cast<size_t>(2 * i + side)].view().col_range(c0, dn));
         cv.push_back(omega_up_[ul][ui].view().col_range(c0, dn));
       }

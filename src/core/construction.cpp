@@ -88,18 +88,25 @@ void H2SketchBuilder::generate_dense_blocks() {
   PhaseScope scope(stats_.phases, Phase::EntryGen);
   const index_t leaf = tree_->leaf_level();
   const auto& near = out_.mtree.near_leaf;
-  std::vector<kern::BlockRequest> reqs;
-  reqs.reserve(static_cast<size_t>(near.count()));
-  for (index_t r = 0; r < tree_->nodes_at(leaf); ++r) {
+  // Shapes first, one device allocation for the whole near field, then the
+  // generation launches write straight into the arena slots — the blocks
+  // are born on the device and never cross the marshaling boundary.
+  for (index_t r = 0; r < tree_->nodes_at(leaf); ++r)
     for (index_t j = 0; j < near.row_count(r); ++j) {
       const index_t e = near.row_ptr[static_cast<size_t>(r)] + j;
       const index_t c = near.col[static_cast<size_t>(e)];
-      Matrix& d = out_.dense[static_cast<size_t>(e)];
-      d.resize(tree_->size(leaf, r), tree_->size(leaf, c));
-      reqs.push_back({leaf_positions_[static_cast<size_t>(r)],
-                      leaf_positions_[static_cast<size_t>(c)], d.view()});
+      out_.dense.set_shape(e, tree_->size(leaf, r), tree_->size(leaf, c));
     }
-  }
+  out_.dense.allocate(ctx_.device());
+  std::vector<kern::BlockRequest> reqs;
+  reqs.reserve(static_cast<size_t>(near.count()));
+  for (index_t r = 0; r < tree_->nodes_at(leaf); ++r)
+    for (index_t j = 0; j < near.row_count(r); ++j) {
+      const index_t e = near.row_ptr[static_cast<size_t>(r)] + j;
+      const index_t c = near.col[static_cast<size_t>(e)];
+      reqs.push_back({leaf_positions_[static_cast<size_t>(r)],
+                      leaf_positions_[static_cast<size_t>(c)], out_.dense.dev(e)});
+    }
   kern::batched_generate(ctx_, batched::kEntryGenStream, gen_, std::move(reqs));
 }
 
@@ -130,7 +137,7 @@ void H2SketchBuilder::skeletonize_level(index_t level) {
       const index_t k = static_cast<index_t>(id.skeleton.size());
       out_.ranks[ul][ui] = k;
       rank_sketch.record(static_cast<double>(k));
-      out_.basis[ul][ui] = std::move(id.interp);
+      out_.basis[ul].set_shape(i, id.interp.rows(), id.interp.cols());
       jlocal_[ul][ui] = id.skeleton;
 
       auto& skel = out_.skeleton[ul][ui];
@@ -150,6 +157,12 @@ void H2SketchBuilder::skeletonize_level(index_t level) {
         }
       }
     }
+    // One packed device allocation for the level's bases/transfers; the ID
+    // interpolants are the only operands produced host-side, so this upload
+    // is the once-per-build operand traffic the steady state amortizes.
+    out_.basis[ul].allocate(ctx_.device());
+    for (index_t i = 0; i < nodes; ++i)
+      out_.basis[ul].upload(i, ids[static_cast<size_t>(i)].interp.view());
   }
 
   // Upsweep samples (batchedShrink, Lines 17 / 35): y_up = Y_loc(J, :), on
@@ -183,7 +196,7 @@ void H2SketchBuilder::skeletonize_level(index_t level) {
       std::vector<MatrixView> cv;
       for (index_t i = 0; i < nodes; ++i) {
         const auto ui = static_cast<size_t>(i);
-        av.push_back(out_.basis[ul][ui].view());
+        av.push_back(out_.basis[ul].dev(i));
         bv.push_back(omega_global_.view().row_range(tree_->begin(level, i), tree_->size(level, i)));
         cv.push_back(oup[ui].view());
       }
@@ -210,7 +223,7 @@ void H2SketchBuilder::skeletonize_level(index_t level) {
             cv.push_back(MatrixView());
             continue;
           }
-          av.push_back(out_.basis[ul][ui].view().block(row0, 0, rs, k));
+          av.push_back(out_.basis[ul].dev(i).block(row0, 0, rs, k));
           bv.push_back(omega_up_[ul + 1][static_cast<size_t>(2 * i + side)].view());
           cv.push_back(oup[ui].view());
         }
@@ -226,6 +239,16 @@ void H2SketchBuilder::generate_coupling(index_t level) {
   const auto ul = static_cast<size_t>(level);
   const auto& far = out_.mtree.far[ul];
   if (far.empty()) return;
+  // Coupling blocks are generated directly into the level's packed arena.
+  for (index_t r = 0; r < tree_->nodes_at(level); ++r)
+    for (index_t j = 0; j < far.row_count(r); ++j) {
+      const index_t e = far.row_ptr[static_cast<size_t>(r)] + j;
+      const index_t c = far.col[static_cast<size_t>(e)];
+      out_.coupling[ul].set_shape(
+          e, static_cast<index_t>(out_.skeleton[ul][static_cast<size_t>(r)].size()),
+          static_cast<index_t>(out_.skeleton[ul][static_cast<size_t>(c)].size()));
+    }
+  out_.coupling[ul].allocate(ctx_.device());
   std::vector<kern::BlockRequest> reqs;
   reqs.reserve(static_cast<size_t>(far.count()));
   for (index_t r = 0; r < tree_->nodes_at(level); ++r) {
@@ -234,9 +257,7 @@ void H2SketchBuilder::generate_coupling(index_t level) {
       const index_t c = far.col[static_cast<size_t>(e)];
       const auto& rs = out_.skeleton[ul][static_cast<size_t>(r)];
       const auto& cs = out_.skeleton[ul][static_cast<size_t>(c)];
-      Matrix& b = out_.coupling[ul][static_cast<size_t>(e)];
-      b.resize(static_cast<index_t>(rs.size()), static_cast<index_t>(cs.size()));
-      reqs.push_back({rs, cs, b.view()});
+      reqs.push_back({rs, cs, out_.coupling[ul].dev(e)});
     }
   }
   // Asynchronous: coupling generation overlaps the level's upsweep launches

@@ -1,5 +1,7 @@
 #include "h2/cheb_construction.hpp"
 
+#include "backend/registry.hpp"
+
 #include <cmath>
 #include <numbers>
 
@@ -109,7 +111,7 @@ H2Matrix build_cheb_h2(std::shared_ptr<const tree::ClusterTree> tree,
       for (index_t d = 0; d < dim; ++d) x[d] = t.coord_permuted(t.begin(leaf, i) + p, d);
       for (index_t m = 0; m < rank; ++m) u(p, m) = g.basis(m, x);
     }
-    a.basis[static_cast<size_t>(leaf)][static_cast<size_t>(i)] = std::move(u);
+    a.basis[static_cast<size_t>(leaf)].stage(i, std::move(u));
   }
 
   // Transfer matrices: child grid points interpolated in the parent's basis.
@@ -126,7 +128,7 @@ H2Matrix build_cheb_h2(std::shared_ptr<const tree::ClusterTree> tree,
             tr(side * rank + mc, mp) = parent.basis(mp, x);
         }
       }
-      a.basis[static_cast<size_t>(l)][static_cast<size_t>(i)] = std::move(tr);
+      a.basis[static_cast<size_t>(l)].stage(i, std::move(tr));
     }
   }
 
@@ -149,7 +151,7 @@ H2Matrix build_cheb_h2(std::shared_ptr<const tree::ClusterTree> tree,
             b(ms, mt) = kernel.evaluate(x, y, dim);
           }
         }
-        a.coupling[static_cast<size_t>(l)][static_cast<size_t>(e)] = std::move(b);
+        a.coupling[static_cast<size_t>(l)].stage(e, std::move(b));
       }
     }
   }
@@ -170,9 +172,16 @@ H2Matrix build_cheb_h2(std::shared_ptr<const tree::ClusterTree> tree,
           dmat(ii, jj) = kernel.evaluate(x, y, dim);
         }
       }
-      a.dense[static_cast<size_t>(e)] = std::move(dmat);
+      a.dense.stage(e, std::move(dmat));
     }
   }
+
+  // Host-side writer: commit each staged arena to the process default
+  // device (one allocation + upload per level; mirrors stay warm).
+  backend::DeviceBackend& dev = *backend::default_backend().device;
+  for (auto& lvl : a.basis) lvl.commit(dev);
+  for (auto& lvl : a.coupling) lvl.commit(dev);
+  a.dense.commit(dev);
 
   a.validate();
   return a;

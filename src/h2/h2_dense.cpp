@@ -7,10 +7,11 @@ namespace h2sketch::h2 {
 
 Matrix expand_basis(const H2Matrix& a, index_t level, index_t node) {
   const tree::ClusterTree& t = *a.tree;
-  if (level == t.leaf_level()) return to_matrix(a.basis[static_cast<size_t>(level)][static_cast<size_t>(node)].view());
+  // Diagnostic path: read through the arenas' lazy host mirrors.
+  if (level == t.leaf_level()) return a.basis[static_cast<size_t>(level)].host(node);
   const Matrix left = expand_basis(a, level + 1, 2 * node);
   const Matrix right = expand_basis(a, level + 1, 2 * node + 1);
-  const Matrix& tr = a.basis[static_cast<size_t>(level)][static_cast<size_t>(node)];
+  const Matrix& tr = a.basis[static_cast<size_t>(level)].host(node);
   const index_t r = a.rank(level, node);
   Matrix u(t.size(level, node), r);
   if (r == 0) return u;
@@ -50,7 +51,7 @@ Matrix densify(const H2Matrix& a) {
       index_t s = 0;
       while (far.row_ptr[static_cast<size_t>(s + 1)] <= e) ++s;
       const index_t c = far.col[static_cast<size_t>(e)];
-      const Matrix& b = a.coupling[static_cast<size_t>(l)][static_cast<size_t>(e)];
+      const Matrix& b = a.coupling[static_cast<size_t>(l)].host(e);
       Matrix ub(t.size(l, s), b.cols());
       la::gemm(1.0, expanded[static_cast<size_t>(s)].view(), la::Op::None, b.view(), la::Op::None,
                0.0, ub.view());
@@ -66,7 +67,7 @@ Matrix densify(const H2Matrix& a) {
     for (index_t j = 0; j < near.row_count(s); ++j) {
       const index_t e = near.row_ptr[static_cast<size_t>(s)] + j;
       const index_t c = near.col[static_cast<size_t>(e)];
-      copy(a.dense[static_cast<size_t>(e)].view(),
+      copy(a.dense.host(e).view(),
            k.view().block(t.begin(leaf, s), t.begin(leaf, c), t.size(leaf, s), t.size(leaf, c)));
     }
   }

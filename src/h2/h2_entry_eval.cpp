@@ -36,7 +36,7 @@ std::vector<std::vector<real_t>> H2EntryGenerator::basis_row_chain(index_t p) co
   index_t node = leaf_of_[static_cast<size_t>(p)];
   // Leaf row: U(p_local, :).
   {
-    const Matrix& u = a_->basis[static_cast<size_t>(leaf)][static_cast<size_t>(node)];
+    const Matrix& u = a_->basis[static_cast<size_t>(leaf)].host(node);
     const index_t r = a_->rank(leaf, node);
     auto& row = chain[static_cast<size_t>(leaf)];
     row.resize(static_cast<size_t>(r));
@@ -47,7 +47,7 @@ std::vector<std::vector<real_t>> H2EntryGenerator::basis_row_chain(index_t p) co
   for (index_t l = leaf - 1; l >= 0; --l) {
     const index_t child = node;
     node = child / 2;
-    const Matrix& tr = a_->basis[static_cast<size_t>(l)][static_cast<size_t>(node)];
+    const Matrix& tr = a_->basis[static_cast<size_t>(l)].host(node);
     const index_t r_parent = a_->rank(l, node);
     const index_t r_left = a_->rank(l + 1, 2 * node);
     const index_t row0 = (child % 2 == 0) ? 0 : r_left;
@@ -96,7 +96,7 @@ void H2EntryGenerator::generate_block(const_index_span rows, const_index_span co
       // Near-field dense block?
       const index_t ne = find_entry(a_->mtree.near_leaf, ileaf, jleaf);
       if (ne >= 0) {
-        const Matrix& dmat = a_->dense[static_cast<size_t>(ne)];
+        const Matrix& dmat = a_->dense.host(ne);
         out(ii, jj) = dmat(i - t.begin(leaf, ileaf), j - t.begin(leaf, jleaf));
         continue;
       }
@@ -107,7 +107,7 @@ void H2EntryGenerator::generate_block(const_index_span rows, const_index_span co
       for (index_t l = leaf; l >= 0; --l) {
         const index_t fe = find_entry(a_->mtree.far[static_cast<size_t>(l)], s, c);
         if (fe >= 0) {
-          const Matrix& b = a_->coupling[static_cast<size_t>(l)][static_cast<size_t>(fe)];
+          const Matrix& b = a_->coupling[static_cast<size_t>(l)].host(fe);
           const auto& ur = rchain[static_cast<size_t>(ii)][static_cast<size_t>(l)];
           const auto& vc = cchain[static_cast<size_t>(jj)][static_cast<size_t>(l)];
           for (index_t q = 0; q < b.cols(); ++q) {

@@ -4,6 +4,8 @@
 #include <istream>
 #include <ostream>
 
+#include "backend/registry.hpp"
+
 namespace h2sketch::h2 {
 
 namespace {
@@ -99,11 +101,12 @@ void save_h2(std::ostream& os, const H2Matrix& a) {
 
   // Blocks.
   for (const auto& lvl : a.ranks) put_indices(os, lvl);
+  // Device-resident blocks stream out through the arenas' host mirrors.
   for (const auto& lvl : a.basis)
-    for (const auto& m : lvl) put_matrix(os, m);
+    for (index_t i = 0; i < lvl.count(); ++i) put_matrix(os, lvl.host(i));
   for (const auto& lvl : a.coupling)
-    for (const auto& m : lvl) put_matrix(os, m);
-  for (const auto& m : a.dense) put_matrix(os, m);
+    for (index_t e = 0; e < lvl.count(); ++e) put_matrix(os, lvl.host(e));
+  for (index_t e = 0; e < a.dense.count(); ++e) put_matrix(os, a.dense.host(e));
   for (const auto& lvl : a.skeleton)
     for (const auto& s : lvl) put_indices(os, s);
 }
@@ -146,11 +149,19 @@ H2Matrix load_h2(std::istream& is) {
 
   a.init_structure();
   for (auto& lvl : a.ranks) lvl = get_indices(is);
-  for (auto& lvl : a.basis)
-    for (auto& m : lvl) m = get_matrix(is);
-  for (auto& lvl : a.coupling)
-    for (auto& m : lvl) m = get_matrix(is);
-  for (auto& m : a.dense) m = get_matrix(is);
+  // Stage each block host-side as it streams in, then commit per arena: one
+  // device allocation + upload per level, and the mirrors stay warm.
+  backend::DeviceBackend& dev = *backend::default_backend().device;
+  for (auto& lvl : a.basis) {
+    for (index_t i = 0; i < lvl.count(); ++i) lvl.stage(i, get_matrix(is));
+    lvl.commit(dev);
+  }
+  for (auto& lvl : a.coupling) {
+    for (index_t e = 0; e < lvl.count(); ++e) lvl.stage(e, get_matrix(is));
+    lvl.commit(dev);
+  }
+  for (index_t e = 0; e < a.dense.count(); ++e) a.dense.stage(e, get_matrix(is));
+  a.dense.commit(dev);
   for (auto& lvl : a.skeleton)
     for (auto& s : lvl) s = get_indices(is);
 

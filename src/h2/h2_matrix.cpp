@@ -1,23 +1,24 @@
 #include "h2/h2_matrix.hpp"
 
+#include "backend/registry.hpp"
+
 namespace h2sketch::h2 {
 
 void H2Matrix::init_structure() {
   H2S_CHECK(tree != nullptr, "H2Matrix: tree not set");
   const index_t levels = tree->num_levels();
   ranks.assign(static_cast<size_t>(levels), {});
-  basis.assign(static_cast<size_t>(levels), {});
-  coupling.assign(static_cast<size_t>(levels), {});
+  basis = std::vector<backend::BlockArena>(static_cast<size_t>(levels));
+  coupling = std::vector<backend::BlockArena>(static_cast<size_t>(levels));
   skeleton.assign(static_cast<size_t>(levels), {});
   for (index_t l = 0; l < levels; ++l) {
     const auto nodes = static_cast<size_t>(tree->nodes_at(l));
     ranks[static_cast<size_t>(l)].assign(nodes, 0);
-    basis[static_cast<size_t>(l)].assign(nodes, Matrix());
+    basis[static_cast<size_t>(l)].reset(tree->nodes_at(l));
     skeleton[static_cast<size_t>(l)].assign(nodes, {});
-    coupling[static_cast<size_t>(l)].assign(static_cast<size_t>(mtree.far[static_cast<size_t>(l)].count()),
-                                            Matrix());
+    coupling[static_cast<size_t>(l)].reset(mtree.far[static_cast<size_t>(l)].count());
   }
-  dense.assign(static_cast<size_t>(mtree.near_leaf.count()), Matrix());
+  dense.reset(mtree.near_leaf.count());
 }
 
 index_t H2Matrix::min_rank() const {
@@ -42,17 +43,34 @@ index_t H2Matrix::max_rank() const {
 
 std::size_t H2Matrix::memory_bytes() const {
   std::size_t bytes = 0;
-  auto mat_bytes = [](const Matrix& m) {
-    return static_cast<std::size_t>(m.size()) * sizeof(real_t);
-  };
-  for (const auto& lvl : basis)
-    for (const auto& m : lvl) bytes += mat_bytes(m);
-  for (const auto& lvl : coupling)
-    for (const auto& m : lvl) bytes += mat_bytes(m);
-  for (const auto& m : dense) bytes += mat_bytes(m);
+  for (const auto& lvl : basis) bytes += lvl.payload_bytes();
+  for (const auto& lvl : coupling) bytes += lvl.payload_bytes();
+  bytes += dense.payload_bytes();
   for (const auto& lvl : skeleton)
     for (const auto& s : lvl) bytes += s.size() * sizeof(index_t);
   return bytes;
+}
+
+std::size_t H2Matrix::device_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& lvl : basis) bytes += lvl.device_bytes();
+  for (const auto& lvl : coupling) bytes += lvl.device_bytes();
+  bytes += dense.device_bytes();
+  return bytes;
+}
+
+std::shared_ptr<backend::DeviceBackend> H2Matrix::storage_backend() const {
+  for (const auto& lvl : basis)
+    if (lvl.allocated()) return lvl.backend_ptr();
+  if (dense.allocated()) return dense.backend_ptr();
+  for (const auto& lvl : coupling)
+    if (lvl.allocated()) return lvl.backend_ptr();
+  return nullptr;
+}
+
+backend::ExecutionConfig H2Matrix::execution_config() const {
+  if (auto dev = storage_backend()) return {std::move(dev), backend::LaunchMode::Batched};
+  return backend::default_backend();
 }
 
 void H2Matrix::validate() const {
@@ -65,15 +83,14 @@ void H2Matrix::validate() const {
               "rank array size mismatch at level " << l);
     for (index_t i = 0; i < tree->nodes_at(l); ++i) {
       const auto ui = static_cast<size_t>(i);
-      const Matrix& b = basis[ul][ui];
       const index_t r = ranks[ul][ui];
       if (l == leaf) {
         if (r > 0)
-          H2S_CHECK(b.rows() == tree->size(l, i) && b.cols() == r,
+          H2S_CHECK(basis[ul].rows(i) == tree->size(l, i) && basis[ul].cols(i) == r,
                     "leaf basis dims mismatch at node " << i);
       } else if (r > 0) {
         const index_t child_rows = rank(l + 1, 2 * i) + rank(l + 1, 2 * i + 1);
-        H2S_CHECK(b.rows() == child_rows && b.cols() == r,
+        H2S_CHECK(basis[ul].rows(i) == child_rows && basis[ul].cols(i) == r,
                   "transfer dims mismatch at level " << l << " node " << i);
       }
       if (!skeleton[ul][ui].empty())
@@ -82,25 +99,23 @@ void H2Matrix::validate() const {
     }
     // Coupling blocks match the CSR far list and the node ranks.
     const auto& far = mtree.far[ul];
-    H2S_CHECK(static_cast<index_t>(coupling[ul].size()) == far.count(),
-              "coupling count mismatch at level " << l);
+    H2S_CHECK(coupling[ul].count() == far.count(), "coupling count mismatch at level " << l);
     for (index_t rnode = 0; rnode < tree->nodes_at(l); ++rnode)
       for (index_t j = 0; j < far.row_count(rnode); ++j) {
         const index_t e = far.row_ptr[static_cast<size_t>(rnode)] + j;
         const index_t cnode = far.col[static_cast<size_t>(e)];
-        const Matrix& bm = coupling[ul][static_cast<size_t>(e)];
-        H2S_CHECK(bm.rows() == rank(l, rnode) && bm.cols() == rank(l, cnode),
+        H2S_CHECK(coupling[ul].rows(e) == rank(l, rnode) && coupling[ul].cols(e) == rank(l, cnode),
                   "coupling dims mismatch at level " << l << " entry " << e);
       }
   }
   const auto& near = mtree.near_leaf;
-  H2S_CHECK(static_cast<index_t>(dense.size()) == near.count(), "dense count mismatch");
+  H2S_CHECK(dense.count() == near.count(), "dense count mismatch");
   for (index_t rnode = 0; rnode < tree->nodes_at(leaf); ++rnode)
     for (index_t j = 0; j < near.row_count(rnode); ++j) {
       const index_t e = near.row_ptr[static_cast<size_t>(rnode)] + j;
       const index_t cnode = near.col[static_cast<size_t>(e)];
-      H2S_CHECK(dense[static_cast<size_t>(e)].rows() == tree->size(leaf, rnode) &&
-                    dense[static_cast<size_t>(e)].cols() == tree->size(leaf, cnode),
+      H2S_CHECK(dense.rows(e) == tree->size(leaf, rnode) &&
+                    dense.cols(e) == tree->size(leaf, cnode),
                 "dense dims mismatch at entry " << e);
     }
 }

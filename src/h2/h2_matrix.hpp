@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "backend/block_arena.hpp"
 #include "common/matrix.hpp"
 #include "tree/matrix_tree.hpp"
 
@@ -19,8 +20,14 @@
 ///
 /// The matrix is symmetric (V = U). All blocks are indexed in the cluster
 /// tree's permuted position space, following the matrix tree's CSR lists.
-/// Trees are stored level-contiguously, matching the flattened layout the
-/// GPU implementation marshals from.
+///
+/// Storage is **device-resident**: each per-level family of blocks lives
+/// packed in one `backend::BlockArena` (one DeviceBuffer per level per
+/// kind), so the matvec reads operands in place and steady-state per-apply
+/// host<->device traffic is just the x upload and y download. Host-side
+/// consumers (densify, io, entry evaluation) go through the arenas' lazy
+/// `host(i)` mirrors. The matrix is move-only and pinned to the backend it
+/// was built on (`execution_config()`).
 
 namespace h2sketch::h2 {
 
@@ -32,16 +39,16 @@ class H2Matrix {
   /// ranks[l][i]: basis rank of node i at level l.
   std::vector<std::vector<index_t>> ranks;
 
-  /// basis[l][i]: at the leaf level, U_i (cluster_size x rank). At inner
-  /// levels, the stacked transfer [E_left; E_right]
+  /// basis[l], slot i: at the leaf level, U_i (cluster_size x rank). At
+  /// inner levels, the stacked transfer [E_left; E_right]
   /// ((rank(l+1,2i) + rank(l+1,2i+1)) x rank(l,i)).
-  std::vector<std::vector<Matrix>> basis;
+  std::vector<backend::BlockArena> basis;
 
-  /// coupling[l][e]: B for the e-th CSR entry of mtree.far[l].
-  std::vector<std::vector<Matrix>> coupling;
+  /// coupling[l], slot e: B for the e-th CSR entry of mtree.far[l].
+  std::vector<backend::BlockArena> coupling;
 
-  /// dense[e]: D for the e-th CSR entry of mtree.near_leaf.
-  std::vector<Matrix> dense;
+  /// Slot e: D for the e-th CSR entry of mtree.near_leaf.
+  backend::BlockArena dense;
 
   /// skeleton[l][i]: permuted positions selected as skeleton indices for
   /// node i at level l (size == ranks[l][i]). Produced by sketching
@@ -64,8 +71,20 @@ class H2Matrix {
   index_t min_rank() const;
   index_t max_rank() const;
 
-  /// Exact bytes held in U/E/B/D matrices plus skeleton index lists.
+  /// Logical payload bytes of U/E/B/D blocks plus skeleton index lists.
   std::size_t memory_bytes() const;
+
+  /// Real device-resident bytes across all arenas (alignment padding
+  /// included) — what the serving cache budgets and eviction frees.
+  std::size_t device_bytes() const;
+
+  /// Backend the arenas live on; null when nothing is allocated yet.
+  std::shared_ptr<backend::DeviceBackend> storage_backend() const;
+
+  /// Backend the arenas live on (from the first allocated arena; the
+  /// process default if nothing is allocated yet). Contexts applying this
+  /// matrix must share its device heap.
+  backend::ExecutionConfig execution_config() const;
 
   /// Structural consistency: every dimension implied by ranks, cluster
   /// sizes and CSR lists must match. Throws on violation.

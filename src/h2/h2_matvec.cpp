@@ -30,6 +30,12 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
   const index_t leaf = t.leaf_level();
 
   backend::DeviceBackend& dev = ctx.device();
+  // The operator's arenas are device-resident: a context on a foreign
+  // device heap must be rejected instead of dereferencing poisoned pages.
+  if (auto own = a.storage_backend())
+    H2S_CHECK(own->memory_owner() == dev.memory_owner(),
+              "h2_matvec: context device does not own this matrix's device arenas (built on "
+                  << own->name() << ", applied on " << dev.name() << ")");
 
   // Marshal into device memory: the input/output panels and every per-level
   // coefficient block come from one arena reservation (one backing
@@ -80,7 +86,7 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
     if (!near.empty()) {
       std::vector<ConstMatrixView> blocks, xv;
       std::vector<MatrixView> yv;
-      for (const auto& dmat : a.dense) blocks.push_back(dmat.view());
+      for (index_t e = 0; e < a.dense.count(); ++e) blocks.push_back(a.dense.dev(e));
       for (index_t i = 0; i < t.nodes_at(leaf); ++i) {
         xv.push_back(xd.row_range(t.begin(leaf, i), t.size(leaf, i)));
         yv.push_back(yd.row_range(t.begin(leaf, i), t.size(leaf, i)));
@@ -103,7 +109,7 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
         cv.push_back(MatrixView());
         continue;
       }
-      av.push_back(ub[static_cast<size_t>(i)].view());
+      av.push_back(ub.dev(i));
       bv.push_back(xd.row_range(t.begin(leaf, i), t.size(leaf, i)));
       cv.push_back(xhat[static_cast<size_t>(leaf)][static_cast<size_t>(i)]);
     }
@@ -120,7 +126,6 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
       std::vector<ConstMatrixView> av, bv;
       std::vector<MatrixView> cv;
       for (index_t i = 0; i < t.nodes_at(l); ++i) {
-        const Matrix& tr = a.basis[static_cast<size_t>(l)][static_cast<size_t>(i)];
         const index_t r_left = a.rank(l + 1, 2 * i);
         const index_t r_side = side == 0 ? r_left : a.rank(l + 1, 2 * i + 1);
         const index_t row0 = side == 0 ? 0 : r_left;
@@ -132,7 +137,7 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
           cv.push_back(MatrixView());
           continue;
         }
-        av.push_back(tr.view().block(row0, 0, r_side, r_tau));
+        av.push_back(a.basis[static_cast<size_t>(l)].dev(i).block(row0, 0, r_side, r_tau));
         bv.push_back(xhat[static_cast<size_t>(l + 1)][static_cast<size_t>(2 * i + side)]);
         cv.push_back(xhat[static_cast<size_t>(l)][static_cast<size_t>(i)]);
       }
@@ -151,7 +156,8 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
     if (far.empty()) continue;
     std::vector<ConstMatrixView> blocks, xv;
     std::vector<MatrixView> yv;
-    for (const auto& b : a.coupling[static_cast<size_t>(l)]) blocks.push_back(b.view());
+    for (index_t e = 0; e < a.coupling[static_cast<size_t>(l)].count(); ++e)
+      blocks.push_back(a.coupling[static_cast<size_t>(l)].dev(e));
     for (index_t i = 0; i < t.nodes_at(l); ++i) {
       xv.push_back(xhat[static_cast<size_t>(l)][static_cast<size_t>(i)]);
       yv.push_back(yhat[static_cast<size_t>(l)][static_cast<size_t>(i)]);
@@ -172,7 +178,6 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
       std::vector<ConstMatrixView> av, bv;
       std::vector<MatrixView> cv;
       for (index_t i = 0; i < t.nodes_at(l); ++i) {
-        const Matrix& tr = a.basis[static_cast<size_t>(l)][static_cast<size_t>(i)];
         const index_t r_left = a.rank(l + 1, 2 * i);
         const index_t r_side = side == 0 ? r_left : a.rank(l + 1, 2 * i + 1);
         const index_t row0 = side == 0 ? 0 : r_left;
@@ -183,7 +188,7 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
           cv.push_back(MatrixView());
           continue;
         }
-        av.push_back(tr.view().block(row0, 0, r_side, r_tau));
+        av.push_back(a.basis[static_cast<size_t>(l)].dev(i).block(row0, 0, r_side, r_tau));
         bv.push_back(yhat[static_cast<size_t>(l)][static_cast<size_t>(i)]);
         cv.push_back(yhat[static_cast<size_t>(l + 1)][static_cast<size_t>(2 * i + side)]);
       }
@@ -206,7 +211,7 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
         cv.push_back(MatrixView());
         continue;
       }
-      av.push_back(ub[static_cast<size_t>(i)].view());
+      av.push_back(ub.dev(i));
       bv.push_back(yhat[static_cast<size_t>(leaf)][static_cast<size_t>(i)]);
       cv.push_back(yd.row_range(t.begin(leaf, i), t.size(leaf, i)));
     }
@@ -221,7 +226,10 @@ void h2_matvec(batched::ExecutionContext& ctx, const H2Matrix& a, ConstMatrixVie
 }
 
 void h2_matvec(const H2Matrix& a, ConstMatrixView x, MatrixView y) {
-  batched::ExecutionContext ctx;
+  // Bind to the device the matrix's arenas live on, not the process
+  // default: an operator built on simdevice stays applicable without the
+  // caller wiring a context through.
+  batched::ExecutionContext ctx(a.execution_config());
   h2_matvec(ctx, a, x, y);
 }
 

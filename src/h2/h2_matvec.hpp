@@ -27,8 +27,9 @@ void h2_matvec(const H2Matrix& a, ConstMatrixView x, MatrixView y);
 /// reconstruction experiments and the error estimator.
 class H2Sampler final : public kern::MatVecSampler {
  public:
-  /// The H2 matrix must outlive the sampler.
-  explicit H2Sampler(const H2Matrix& a) : a_(&a) {}
+  /// The H2 matrix must outlive the sampler. The embedded context binds to
+  /// the device the matrix's arenas live on.
+  explicit H2Sampler(const H2Matrix& a) : a_(&a), ctx_(a.execution_config()) {}
 
   index_t size() const override { return a_->size(); }
   void sample(ConstMatrixView omega, MatrixView y) override {

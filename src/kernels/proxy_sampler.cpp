@@ -119,7 +119,9 @@ ProxyMatVecSampler::ProxyMatVecSampler(std::shared_ptr<const tree::ClusterTree> 
                                        const KernelFunction& kernel,
                                        const ProxySamplerOptions& opts)
     : tree_(std::move(tree)) {
-  build(kernel, opts, ctx_);
+  batched::ExecutionContext build_ctx;
+  build(kernel, opts, build_ctx);
+  ctx_ = std::make_unique<batched::ExecutionContext>(surrogate_.execution_config());
 }
 
 ProxyMatVecSampler::ProxyMatVecSampler(std::shared_ptr<const tree::ClusterTree> tree,
@@ -128,12 +130,13 @@ ProxyMatVecSampler::ProxyMatVecSampler(std::shared_ptr<const tree::ClusterTree> 
                                        batched::ExecutionContext& build_ctx)
     : tree_(std::move(tree)) {
   build(kernel, opts, build_ctx);
+  ctx_ = std::make_unique<batched::ExecutionContext>(surrogate_.execution_config());
 }
 
 index_t ProxyMatVecSampler::size() const { return tree_->num_points(); }
 
 void ProxyMatVecSampler::sample(ConstMatrixView omega, MatrixView y) {
-  h2::h2_matvec(ctx_, surrogate_, omega, y);
+  h2::h2_matvec(*ctx_, surrogate_, omega, y);
   record_samples(omega.cols);
 }
 
@@ -166,16 +169,21 @@ void ProxyMatVecSampler::build(const KernelFunction& kernel, ProxySamplerOptions
       pos.resize(static_cast<size_t>(t.size(leaf, i)));
       std::iota(pos.begin(), pos.end(), t.begin(leaf, i));
     }
-    for (index_t r = 0; r < t.nodes_at(leaf); ++r) {
+    for (index_t r = 0; r < t.nodes_at(leaf); ++r)
       for (index_t j = 0; j < near.row_count(r); ++j) {
         const index_t e = near.row_ptr[static_cast<size_t>(r)] + j;
         const index_t c = near.col[static_cast<size_t>(e)];
-        Matrix& d = surrogate_.dense[static_cast<size_t>(e)];
-        d.resize(t.size(leaf, r), t.size(leaf, c));
-        reqs.push_back({leaf_positions[static_cast<size_t>(r)],
-                        leaf_positions[static_cast<size_t>(c)], d.view()});
+        surrogate_.dense.set_shape(e, t.size(leaf, r), t.size(leaf, c));
       }
-    }
+    surrogate_.dense.allocate(ctx.device());
+    for (index_t r = 0; r < t.nodes_at(leaf); ++r)
+      for (index_t j = 0; j < near.row_count(r); ++j) {
+        const index_t e = near.row_ptr[static_cast<size_t>(r)] + j;
+        reqs.push_back({leaf_positions[static_cast<size_t>(r)],
+                        leaf_positions[static_cast<size_t>(
+                            near.col[static_cast<size_t>(e)])],
+                        surrogate_.dense.dev(e)});
+      }
     batched_generate(ctx, batched::kEntryGenStream, pgen, std::move(reqs));
   }
 
@@ -227,9 +235,14 @@ void ProxyMatVecSampler::build(const KernelFunction& kernel, ProxySamplerOptions
   // anchor — available for free once the dense blocks land.
   ctx.sync(batched::kEntryGenStream);
   real_t near_sq = 0.0;
-  for (const Matrix& d : surrogate_.dense) {
-    const real_t f = la::norm_f(d.view());
-    near_sq += f * f;
+  {
+    // The dense blocks just landed in the device arena; accumulate their
+    // Frobenius mass in place rather than pulling host mirrors down.
+    backend::KernelScope scope(&ctx.device());
+    for (index_t e = 0; e < surrogate_.dense.count(); ++e) {
+      const real_t f = la::norm_f(surrogate_.dense.dev(e));
+      near_sq += f * f;
+    }
   }
   const real_t norm_anchor = near_sq > 0 ? std::sqrt(near_sq) : real_t(1);
   const real_t abs_tol = opts.tol * opts.id_tol_factor * norm_anchor;
@@ -283,7 +296,7 @@ void ProxyMatVecSampler::build(const KernelFunction& kernel, ProxySamplerOptions
       la::RowID& id = ids[ui];
       const index_t k = static_cast<index_t>(id.skeleton.size());
       surrogate_.ranks[ul][ui] = k;
-      surrogate_.basis[ul][ui] = std::move(id.interp);
+      surrogate_.basis[ul].stage(i, std::move(id.interp));
       auto& skel = surrogate_.skeleton[ul][ui];
       skel.resize(static_cast<size_t>(k));
       if (l == leaf) {
@@ -296,6 +309,7 @@ void ProxyMatVecSampler::build(const KernelFunction& kernel, ProxySamplerOptions
           skel[static_cast<size_t>(s)] = rows[static_cast<size_t>(id.skeleton[static_cast<size_t>(s)])];
       }
     }
+    surrogate_.basis[ul].commit(ctx.device());
   }
 
   // Exact coupling at the selected skeletons, all levels in one batch.
@@ -305,17 +319,24 @@ void ProxyMatVecSampler::build(const KernelFunction& kernel, ProxySamplerOptions
     for (index_t l = 0; l < t.num_levels(); ++l) {
       const auto ul = static_cast<size_t>(l);
       const auto& far = surrogate_.mtree.far[ul];
-      for (index_t r = 0; r < t.nodes_at(l); ++r) {
+      for (index_t r = 0; r < t.nodes_at(l); ++r)
         for (index_t j = 0; j < far.row_count(r); ++j) {
           const index_t e = far.row_ptr[static_cast<size_t>(r)] + j;
           const index_t c = far.col[static_cast<size_t>(e)];
           const auto& rs = surrogate_.skeleton[ul][static_cast<size_t>(r)];
           const auto& cs = surrogate_.skeleton[ul][static_cast<size_t>(c)];
-          Matrix& b = surrogate_.coupling[ul][static_cast<size_t>(e)];
-          b.resize(static_cast<index_t>(rs.size()), static_cast<index_t>(cs.size()));
-          reqs.push_back({rs, cs, b.view()});
+          surrogate_.coupling[ul].set_shape(e, static_cast<index_t>(rs.size()),
+                                            static_cast<index_t>(cs.size()));
         }
-      }
+      surrogate_.coupling[ul].allocate(ctx.device());
+      for (index_t r = 0; r < t.nodes_at(l); ++r)
+        for (index_t j = 0; j < far.row_count(r); ++j) {
+          const index_t e = far.row_ptr[static_cast<size_t>(r)] + j;
+          const index_t c = far.col[static_cast<size_t>(e)];
+          reqs.push_back({surrogate_.skeleton[ul][static_cast<size_t>(r)],
+                          surrogate_.skeleton[ul][static_cast<size_t>(c)],
+                          surrogate_.coupling[ul].dev(e)});
+        }
     }
     batched_generate(ctx, batched::kEntryGenStream, pgen, std::move(reqs));
   }

@@ -102,7 +102,10 @@ class ProxyMatVecSampler final : public MatVecSampler {
 
   std::shared_ptr<const tree::ClusterTree> tree_;
   h2::H2Matrix surrogate_;
-  batched::ExecutionContext ctx_; ///< matvec context for sample()
+  /// Matvec context for sample(), created after the build so it binds to
+  /// the device the surrogate's arenas actually live on (the build
+  /// context's backend, which may differ from the process default).
+  std::unique_ptr<batched::ExecutionContext> ctx_;
   double build_seconds_ = 0.0;
   index_t proxy_points_ = 0;
   index_t entries_generated_ = 0;

@@ -80,6 +80,7 @@ OperatorCache::OperatorCache(CacheOptions opts) : opts_([&] {
     b.gauge("serve_cache_operators", static_cast<double>(map_.size()));
     std::uint64_t requests = 0, batches = 0, rhs = 0, failures = 0, degraded = 0, expired = 0,
                   launches = 0;
+    std::size_t device_bytes = 0;
     for (const auto& [key, e] : map_) {
       const OperatorMetrics& m = *e->op.metrics;
       requests += m.requests.load(std::memory_order_relaxed);
@@ -89,7 +90,11 @@ OperatorCache::OperatorCache(CacheOptions opts) : opts_([&] {
       degraded += m.degraded_launches.load(std::memory_order_relaxed);
       expired += m.deadline_expired.load(std::memory_order_relaxed);
       launches += static_cast<std::uint64_t>(e->op.build_stats.kernel_launches);
+      device_bytes += e->op.matrix.device_bytes() + e->op.factor.device_bytes();
     }
+    // Real device memory held by the resident operators' arenas (alignment
+    // padding included) — the footprint eviction actually frees.
+    b.gauge("serve_cache_device_bytes", static_cast<double>(device_bytes));
     b.counter("serve_requests", requests);
     b.counter("serve_batches", batches);
     b.counter("serve_coalesced_rhs", rhs);
@@ -180,7 +185,7 @@ OperatorHandle OperatorCache::acquire(const OperatorKey& key, const Builder& bui
     entry = std::make_shared<detail::CacheEntry>();
     entry->op = build_with_recovery(build);
     if (entry->op.bytes == 0)
-      entry->op.bytes = entry->op.matrix.memory_bytes() + entry->op.factor.memory_bytes();
+      entry->op.bytes = entry->op.matrix.device_bytes() + entry->op.factor.device_bytes();
   } catch (...) {
     {
       std::lock_guard<std::mutex> lk(mu_);
@@ -298,7 +303,7 @@ ServedOperator build_served_operator(const geo::PointCloud& points,
   op.matrix = std::move(result.matrix);
   op.build_stats = std::move(result.stats);
   op.backend = std::string(backend_name);
-  op.bytes = op.matrix.memory_bytes() + op.factor.memory_bytes();
+  op.bytes = op.matrix.device_bytes() + op.factor.device_bytes();
   return op;
 }
 

@@ -63,7 +63,7 @@ struct ServedOperator {
   solver::HssMatrix matrix;
   solver::UlvCholesky factor;
   std::string backend;    ///< backend config name the panels were built on
-  std::size_t bytes = 0;  ///< matrix + factor footprint (the LRU budget unit)
+  std::size_t bytes = 0;  ///< device-resident matrix + factor arena bytes (the LRU budget unit)
   core::ConstructionStats build_stats;
   /// Shared serving counters (behind a pointer so the operator stays
   /// movable; atomics pin their address).

@@ -90,12 +90,12 @@ class HssBuilder {
     const index_t leaf = tree_->leaf_level();
     std::vector<kern::BlockRequest> reqs;
     reqs.reserve(static_cast<size_t>(tree_->nodes_at(leaf)));
-    for (index_t i = 0; i < tree_->nodes_at(leaf); ++i) {
-      Matrix& d = out_.leaf_diag[static_cast<size_t>(i)];
-      d.resize(tree_->size(leaf, i), tree_->size(leaf, i));
+    for (index_t i = 0; i < tree_->nodes_at(leaf); ++i)
+      out_.leaf_diag.set_shape(i, tree_->size(leaf, i), tree_->size(leaf, i));
+    out_.leaf_diag.allocate(ctx_.device());
+    for (index_t i = 0; i < tree_->nodes_at(leaf); ++i)
       reqs.push_back({leaf_positions_[static_cast<size_t>(i)],
-                      leaf_positions_[static_cast<size_t>(i)], d.view()});
-    }
+                      leaf_positions_[static_cast<size_t>(i)], out_.leaf_diag.dev(i)});
     kern::batched_generate(ctx_, batched::kEntryGenStream, gen_, std::move(reqs));
   }
 
@@ -180,7 +180,7 @@ class HssBuilder {
       std::vector<ConstMatrixView> av, bv;
       std::vector<MatrixView> cv;
       for (index_t i = 0; i < nodes; ++i) {
-        av.push_back(out_.leaf_diag[static_cast<size_t>(i)].view());
+        av.push_back(out_.leaf_diag.dev(i));
         bv.push_back(
             omega_global_.view().block(tree_->begin(level, i), c0, tree_->size(level, i), dn));
         cv.push_back(yl[static_cast<size_t>(i)].view().col_range(c0, dn));
@@ -223,7 +223,6 @@ class HssBuilder {
       for (index_t i = 0; i < nodes; ++i) {
         const index_t r1 = out_.ranks[uc][static_cast<size_t>(2 * i)];
         const index_t r2 = out_.ranks[uc][static_cast<size_t>(2 * i + 1)];
-        const Matrix& b = out_.coupling[uc][static_cast<size_t>(i)];
         const index_t rows = side == 0 ? r1 : r2;
         if (rows == 0 || (side == 0 ? r2 : r1) == 0) {
           av.push_back(ConstMatrixView());
@@ -231,7 +230,7 @@ class HssBuilder {
           cv.push_back(MatrixView());
           continue;
         }
-        av.push_back(b.view());
+        av.push_back(out_.coupling[uc].dev(i));
         bv.push_back(omega_up_[uc][static_cast<size_t>(2 * i + (side == 0 ? 1 : 0))]
                          .view()
                          .col_range(c0, dn));
@@ -270,7 +269,7 @@ class HssBuilder {
         const index_t k = static_cast<index_t>(id.skeleton.size());
         out_.ranks[ul][ui] = k;
         rank_sketch.record(static_cast<double>(k));
-        out_.generators[ul][ui] = std::move(id.interp);
+        out_.generators[ul].set_shape(i, id.interp.rows(), id.interp.cols());
         jlocal_[ul][ui] = id.skeleton;
 
         auto& skel = out_.skeleton[ul][ui];
@@ -291,6 +290,12 @@ class HssBuilder {
         }
       }
     }
+
+    // One packed upload per level: the generators land in the device arena
+    // once at build time and never cross the boundary again.
+    out_.generators[ul].allocate(ctx_.device());
+    for (index_t i = 0; i < nodes; ++i)
+      out_.generators[ul].upload(i, ids[static_cast<size_t>(i)].interp.view());
 
     // Upsweep: y_up = Y_loc(J, :) on the sample stream, omega_up on the
     // basis stream (disjoint state; next level's extend_yloc syncs first).
@@ -329,7 +334,7 @@ class HssBuilder {
       std::vector<MatrixView> cv;
       for (index_t i = 0; i < nodes; ++i) {
         const auto ui = static_cast<size_t>(i);
-        av.push_back(out_.generators[ul][ui].view());
+        av.push_back(out_.generators[ul].dev(i));
         bv.push_back(
             omega_global_.view().block(tree_->begin(level, i), c0, tree_->size(level, i), dn));
         cv.push_back(omega_up_[ul][ui].view().col_range(c0, dn));
@@ -354,7 +359,7 @@ class HssBuilder {
           cv.push_back(MatrixView());
           continue;
         }
-        av.push_back(out_.generators[ul][ui].view().block(row0, 0, rs, k));
+        av.push_back(out_.generators[ul].dev(i).block(row0, 0, rs, k));
         bv.push_back(omega_up_[ul + 1][static_cast<size_t>(2 * i + side)].view().col_range(c0, dn));
         cv.push_back(omega_up_[ul][ui].view().col_range(c0, dn));
       }
@@ -453,10 +458,14 @@ class HssBuilder {
     for (index_t p = 0; p < tree_->nodes_at(level) / 2; ++p) {
       const auto& rs = out_.skeleton[ul][static_cast<size_t>(2 * p)];
       const auto& cs = out_.skeleton[ul][static_cast<size_t>(2 * p + 1)];
-      Matrix& b = out_.coupling[ul][static_cast<size_t>(p)];
-      b.resize(static_cast<index_t>(rs.size()), static_cast<index_t>(cs.size()));
-      reqs.push_back({rs, cs, b.view()});
+      out_.coupling[ul].set_shape(p, static_cast<index_t>(rs.size()),
+                                  static_cast<index_t>(cs.size()));
     }
+    out_.coupling[ul].allocate(ctx_.device());
+    for (index_t p = 0; p < tree_->nodes_at(level) / 2; ++p)
+      reqs.push_back({out_.skeleton[ul][static_cast<size_t>(2 * p)],
+                      out_.skeleton[ul][static_cast<size_t>(2 * p + 1)],
+                      out_.coupling[ul].dev(p)});
     kern::batched_generate(ctx_, batched::kEntryGenStream, gen_, std::move(reqs));
   }
 

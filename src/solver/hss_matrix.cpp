@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "backend/registry.hpp"
 #include "batched/batched_gemm.hpp"
 #include "la/blas.hpp"
 
@@ -10,17 +11,17 @@ namespace h2sketch::solver {
 void HssMatrix::init_structure() {
   const index_t levels = num_levels();
   ranks.assign(static_cast<size_t>(levels), {});
-  generators.assign(static_cast<size_t>(levels), {});
-  coupling.assign(static_cast<size_t>(levels), {});
+  generators = std::vector<backend::BlockArena>(static_cast<size_t>(levels));
+  coupling = std::vector<backend::BlockArena>(static_cast<size_t>(levels));
   skeleton.assign(static_cast<size_t>(levels), {});
   for (index_t l = 0; l < levels; ++l) {
-    const auto nodes = static_cast<size_t>(tree->nodes_at(l));
-    ranks[static_cast<size_t>(l)].assign(nodes, 0);
-    generators[static_cast<size_t>(l)].assign(nodes, Matrix());
-    skeleton[static_cast<size_t>(l)].assign(nodes, {});
-    if (l >= 1) coupling[static_cast<size_t>(l)].assign(nodes / 2, Matrix());
+    const index_t nodes = tree->nodes_at(l);
+    ranks[static_cast<size_t>(l)].assign(static_cast<size_t>(nodes), 0);
+    generators[static_cast<size_t>(l)].reset(nodes);
+    skeleton[static_cast<size_t>(l)].assign(static_cast<size_t>(nodes), {});
+    coupling[static_cast<size_t>(l)].reset(l >= 1 ? nodes / 2 : 0);
   }
-  leaf_diag.assign(static_cast<size_t>(tree->nodes_at(leaf_level())), Matrix());
+  leaf_diag.reset(tree->nodes_at(leaf_level()));
 }
 
 index_t HssMatrix::min_rank() const {
@@ -39,23 +40,43 @@ index_t HssMatrix::max_rank() const {
 
 std::size_t HssMatrix::memory_bytes() const {
   std::size_t bytes = 0;
-  for (const auto& lvl : generators)
-    for (const auto& g : lvl) bytes += static_cast<std::size_t>(g.size()) * sizeof(real_t);
-  for (const auto& lvl : coupling)
-    for (const auto& b : lvl) bytes += static_cast<std::size_t>(b.size()) * sizeof(real_t);
-  for (const auto& d : leaf_diag) bytes += static_cast<std::size_t>(d.size()) * sizeof(real_t);
+  for (const auto& lvl : generators) bytes += lvl.payload_bytes();
+  for (const auto& lvl : coupling) bytes += lvl.payload_bytes();
+  bytes += leaf_diag.payload_bytes();
   for (const auto& lvl : skeleton)
     for (const auto& s : lvl) bytes += s.size() * sizeof(index_t);
   return bytes;
 }
 
+std::size_t HssMatrix::device_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& lvl : generators) bytes += lvl.device_bytes();
+  for (const auto& lvl : coupling) bytes += lvl.device_bytes();
+  bytes += leaf_diag.device_bytes();
+  return bytes;
+}
+
+std::shared_ptr<backend::DeviceBackend> HssMatrix::storage_backend() const {
+  if (leaf_diag.allocated()) return leaf_diag.backend_ptr();
+  for (const auto& lvl : generators)
+    if (lvl.allocated()) return lvl.backend_ptr();
+  for (const auto& lvl : coupling)
+    if (lvl.allocated()) return lvl.backend_ptr();
+  return nullptr;
+}
+
+backend::ExecutionConfig HssMatrix::execution_config() const {
+  if (auto dev = storage_backend()) return {std::move(dev), backend::LaunchMode::Batched};
+  return backend::default_backend();
+}
+
 Matrix HssMatrix::expand_generator(index_t level, index_t node) const {
   const auto ul = static_cast<size_t>(level);
   const auto un = static_cast<size_t>(node);
-  if (level == leaf_level()) return to_matrix(generators[ul][un].view());
+  if (level == leaf_level()) return generators[ul].host(node);
   const Matrix u1 = expand_generator(level + 1, 2 * node);
   const Matrix u2 = expand_generator(level + 1, 2 * node + 1);
-  const Matrix& e = generators[ul][un];
+  const Matrix& e = generators[ul].host(node);
   const index_t k = ranks[ul][un];
   Matrix out(u1.rows() + u2.rows(), k);
   if (u1.cols() > 0)
@@ -74,15 +95,16 @@ Matrix HssMatrix::densify() const {
   // Dense leaf diagonals.
   for (index_t i = 0; i < tree->nodes_at(leaf); ++i) {
     const index_t b = tree->begin(leaf, i);
-    const Matrix& d = leaf_diag[static_cast<size_t>(i)];
+    const Matrix& d = leaf_diag.host(i);
     copy(d.view(), a.view().block(b, b, d.rows(), d.cols()));
   }
   // Off-diagonal sibling pairs: U_s B U_t^T and the mirrored transpose.
   for (index_t l = 1; l < num_levels(); ++l) {
     for (index_t p = 0; p < tree->nodes_at(l) / 2; ++p) {
       const index_t s = 2 * p, t = 2 * p + 1;
-      const Matrix& b = coupling[static_cast<size_t>(l)][static_cast<size_t>(p)];
-      if (b.empty()) continue;
+      const auto& lvl = coupling[static_cast<size_t>(l)];
+      if (lvl.rows(p) == 0 || lvl.cols(p) == 0) continue;
+      const Matrix& b = lvl.host(p);
       const Matrix us = expand_generator(l, s);
       const Matrix ut = expand_generator(l, t);
       Matrix ub(us.rows(), b.cols());
@@ -111,6 +133,11 @@ void HssMatrix::matvec(batched::ExecutionContext& ctx, ConstMatrixView x, Matrix
   const auto diag_stream = batched::kBasisStream;
 
   backend::DeviceBackend& dev = ctx.device();
+  if (auto own = storage_backend())
+    H2S_CHECK(own->memory_owner() == dev.memory_owner(),
+              "HssMatrix::matvec: context device does not own this matrix's device arenas "
+              "(built on "
+                  << own->name() << ", applied on " << dev.name() << ")");
 
   // One arena reservation per matvec for the marshaled input/output panels
   // and the per-node coefficient blocks (the prefix-sum single-allocation
@@ -157,7 +184,7 @@ void HssMatrix::matvec(batched::ExecutionContext& ctx, ConstMatrixView x, Matrix
     std::vector<ConstMatrixView> av, bv;
     std::vector<MatrixView> cv;
     for (index_t i = 0; i < t.nodes_at(leaf); ++i) {
-      av.push_back(leaf_diag[static_cast<size_t>(i)].view());
+      av.push_back(leaf_diag.dev(i));
       bv.push_back(xd.row_range(t.begin(leaf, i), t.size(leaf, i)));
       cv.push_back(yd.row_range(t.begin(leaf, i), t.size(leaf, i)));
     }
@@ -177,7 +204,7 @@ void HssMatrix::matvec(batched::ExecutionContext& ctx, ConstMatrixView x, Matrix
           cv.push_back(MatrixView());
           continue;
         }
-        av.push_back(generators[static_cast<size_t>(leaf)][static_cast<size_t>(i)].view());
+        av.push_back(generators[static_cast<size_t>(leaf)].dev(i));
         bv.push_back(xd.row_range(t.begin(leaf, i), t.size(leaf, i)));
         cv.push_back(xhat[static_cast<size_t>(leaf)][static_cast<size_t>(i)]);
       }
@@ -192,7 +219,6 @@ void HssMatrix::matvec(batched::ExecutionContext& ctx, ConstMatrixView x, Matrix
         std::vector<ConstMatrixView> av, bv;
         std::vector<MatrixView> cv;
         for (index_t i = 0; i < t.nodes_at(l); ++i) {
-          const Matrix& e = generators[static_cast<size_t>(l)][static_cast<size_t>(i)];
           const index_t r_left = rank(l + 1, 2 * i);
           const index_t r_side = side == 0 ? r_left : rank(l + 1, 2 * i + 1);
           const index_t row0 = side == 0 ? 0 : r_left;
@@ -203,7 +229,7 @@ void HssMatrix::matvec(batched::ExecutionContext& ctx, ConstMatrixView x, Matrix
             cv.push_back(MatrixView());
             continue;
           }
-          av.push_back(e.view().block(row0, 0, r_side, r_tau));
+          av.push_back(generators[static_cast<size_t>(l)].dev(i).block(row0, 0, r_side, r_tau));
           bv.push_back(xhat[static_cast<size_t>(l + 1)][static_cast<size_t>(2 * i + side)]);
           cv.push_back(xhat[static_cast<size_t>(l)][static_cast<size_t>(i)]);
         }
@@ -221,14 +247,13 @@ void HssMatrix::matvec(batched::ExecutionContext& ctx, ConstMatrixView x, Matrix
         std::vector<ConstMatrixView> av, bv;
         std::vector<MatrixView> cv;
         for (index_t p = 0; p < t.nodes_at(l) / 2; ++p) {
-          const Matrix& b = coupling[ul][static_cast<size_t>(p)];
-          if (b.empty()) {
+          if (coupling[ul].rows(p) == 0 || coupling[ul].cols(p) == 0) {
             av.push_back(ConstMatrixView());
             bv.push_back(ConstMatrixView());
             cv.push_back(MatrixView());
             continue;
           }
-          av.push_back(b.view());
+          av.push_back(coupling[ul].dev(p));
           bv.push_back(xhat[ul][static_cast<size_t>(2 * p + (side == 0 ? 1 : 0))]);
           cv.push_back(yhat[ul][static_cast<size_t>(2 * p + side)]);
         }
@@ -244,7 +269,6 @@ void HssMatrix::matvec(batched::ExecutionContext& ctx, ConstMatrixView x, Matrix
         std::vector<ConstMatrixView> av, bv;
         std::vector<MatrixView> cv;
         for (index_t i = 0; i < t.nodes_at(l); ++i) {
-          const Matrix& e = generators[static_cast<size_t>(l)][static_cast<size_t>(i)];
           const index_t r_left = rank(l + 1, 2 * i);
           const index_t r_side = side == 0 ? r_left : rank(l + 1, 2 * i + 1);
           const index_t row0 = side == 0 ? 0 : r_left;
@@ -255,7 +279,7 @@ void HssMatrix::matvec(batched::ExecutionContext& ctx, ConstMatrixView x, Matrix
             cv.push_back(MatrixView());
             continue;
           }
-          av.push_back(e.view().block(row0, 0, r_side, r_tau));
+          av.push_back(generators[static_cast<size_t>(l)].dev(i).block(row0, 0, r_side, r_tau));
           bv.push_back(yhat[static_cast<size_t>(l)][static_cast<size_t>(i)]);
           cv.push_back(yhat[static_cast<size_t>(l + 1)][static_cast<size_t>(2 * i + side)]);
         }
@@ -277,7 +301,7 @@ void HssMatrix::matvec(batched::ExecutionContext& ctx, ConstMatrixView x, Matrix
           cv.push_back(MatrixView());
           continue;
         }
-        av.push_back(generators[static_cast<size_t>(leaf)][static_cast<size_t>(i)].view());
+        av.push_back(generators[static_cast<size_t>(leaf)].dev(i));
         bv.push_back(yhat[static_cast<size_t>(leaf)][static_cast<size_t>(i)]);
         cv.push_back(yd.row_range(t.begin(leaf, i), t.size(leaf, i)));
       }
@@ -292,7 +316,7 @@ void HssMatrix::matvec(batched::ExecutionContext& ctx, ConstMatrixView x, Matrix
 }
 
 void HssMatrix::matvec(ConstMatrixView x, MatrixView y) const {
-  batched::ExecutionContext ctx;
+  batched::ExecutionContext ctx(execution_config());
   matvec(ctx, x, y);
 }
 
@@ -305,30 +329,27 @@ void HssMatrix::validate() const {
                 static_cast<index_t>(coupling.size()) == levels &&
                 static_cast<index_t>(skeleton.size()) == levels,
             "HssMatrix: per-level container count mismatch");
-  H2S_CHECK(static_cast<index_t>(leaf_diag.size()) == tree->nodes_at(leaf),
+  H2S_CHECK(leaf_diag.count() == tree->nodes_at(leaf),
             "HssMatrix: leaf diagonal count mismatch");
-  for (index_t i = 0; i < tree->nodes_at(leaf); ++i) {
-    const Matrix& d = leaf_diag[static_cast<size_t>(i)];
-    H2S_CHECK(d.rows() == tree->size(leaf, i) && d.cols() == tree->size(leaf, i),
+  for (index_t i = 0; i < tree->nodes_at(leaf); ++i)
+    H2S_CHECK(leaf_diag.rows(i) == tree->size(leaf, i) && leaf_diag.cols(i) == tree->size(leaf, i),
               "HssMatrix: leaf diagonal dimension mismatch at node " << i);
-  }
   for (index_t l = 1; l < levels; ++l) {
     const auto ul = static_cast<size_t>(l);
     H2S_CHECK(static_cast<index_t>(ranks[ul].size()) == tree->nodes_at(l),
               "HssMatrix: rank count mismatch at level " << l);
-    H2S_CHECK(static_cast<index_t>(coupling[ul].size()) == tree->nodes_at(l) / 2,
+    H2S_CHECK(coupling[ul].count() == tree->nodes_at(l) / 2,
               "HssMatrix: coupling pair count mismatch at level " << l);
     for (index_t i = 0; i < tree->nodes_at(l); ++i) {
       const auto ui = static_cast<size_t>(i);
       const index_t k = ranks[ul][ui];
-      const Matrix& g = generators[ul][ui];
       if (l == leaf) {
-        H2S_CHECK(g.rows() == tree->size(l, i) && g.cols() == k,
+        H2S_CHECK(generators[ul].rows(i) == tree->size(l, i) && generators[ul].cols(i) == k,
                   "HssMatrix: leaf generator dimension mismatch at node " << i);
       } else {
         const index_t rsum = ranks[ul + 1][static_cast<size_t>(2 * i)] +
                              ranks[ul + 1][static_cast<size_t>(2 * i + 1)];
-        H2S_CHECK(g.rows() == rsum && g.cols() == k,
+        H2S_CHECK(generators[ul].rows(i) == rsum && generators[ul].cols(i) == k,
                   "HssMatrix: transfer dimension mismatch at level " << l << " node " << i);
       }
       H2S_CHECK(static_cast<index_t>(skeleton[ul][ui].size()) == k,
@@ -337,12 +358,10 @@ void HssMatrix::validate() const {
         H2S_CHECK(pos >= tree->begin(l, i) && pos < tree->end(l, i),
                   "HssMatrix: skeleton index outside node range at level " << l);
     }
-    for (index_t p = 0; p < tree->nodes_at(l) / 2; ++p) {
-      const Matrix& b = coupling[ul][static_cast<size_t>(p)];
-      H2S_CHECK(b.rows() == ranks[ul][static_cast<size_t>(2 * p)] &&
-                    b.cols() == ranks[ul][static_cast<size_t>(2 * p + 1)],
+    for (index_t p = 0; p < tree->nodes_at(l) / 2; ++p)
+      H2S_CHECK(coupling[ul].rows(p) == ranks[ul][static_cast<size_t>(2 * p)] &&
+                    coupling[ul].cols(p) == ranks[ul][static_cast<size_t>(2 * p + 1)],
                 "HssMatrix: coupling dimension mismatch at level " << l << " pair " << p);
-    }
   }
 }
 

@@ -3,7 +3,7 @@
 #include <memory>
 #include <vector>
 
-#include "backend/fwd.hpp"
+#include "backend/block_arena.hpp"
 #include "common/matrix.hpp"
 #include "tree/cluster_tree.hpp"
 
@@ -25,6 +25,14 @@
 /// the structure the ULV factorization (ulv.hpp) consumes: per-node
 /// generators are exactly the panels its QL/compress-eliminate-merge sweep
 /// transforms level by level.
+///
+/// Storage is **device-resident** (see block_arena.hpp): generators,
+/// coupling blocks and leaf diagonals live packed in per-level
+/// `backend::BlockArena`s, so matvec reads operands in place — steady-state
+/// per-apply traffic is the x upload and y download only. Host consumers
+/// (densify, expand_generator) read the lazy `host(i)` mirrors. The matrix
+/// is move-only and pinned to the backend it was built on
+/// (`execution_config()`).
 
 namespace h2sketch::solver {
 
@@ -36,17 +44,17 @@ class HssMatrix {
   /// basis; its entry stays 0).
   std::vector<std::vector<index_t>> ranks;
 
-  /// generators[l][i]: at the leaf level, U_i (cluster_size x rank). At
-  /// inner levels >= 1, the stacked transfer [E_left; E_right]
+  /// generators[l], slot i: at the leaf level, U_i (cluster_size x rank).
+  /// At inner levels >= 1, the stacked transfer [E_left; E_right]
   /// ((rank(l+1,2i) + rank(l+1,2i+1)) x rank(l,i)). Level 0 is empty.
-  std::vector<std::vector<Matrix>> generators;
+  std::vector<backend::BlockArena> generators;
 
-  /// coupling[l][p]: B for the sibling pair (2p, 2p+1) at level l >= 1, i.e.
-  /// K(skeleton(l,2p), skeleton(l,2p+1)). The mirrored block is B^T.
-  std::vector<std::vector<Matrix>> coupling;
+  /// coupling[l], slot p: B for the sibling pair (2p, 2p+1) at level l >= 1,
+  /// i.e. K(skeleton(l,2p), skeleton(l,2p+1)). The mirrored block is B^T.
+  std::vector<backend::BlockArena> coupling;
 
-  /// leaf_diag[i]: dense diagonal block D_i of leaf node i.
-  std::vector<Matrix> leaf_diag;
+  /// Slot i: dense diagonal block D_i of leaf node i.
+  backend::BlockArena leaf_diag;
 
   /// skeleton[l][i]: permuted positions selected as skeleton indices for
   /// node i at level l (size == ranks[l][i]).
@@ -67,8 +75,20 @@ class HssMatrix {
   index_t min_rank() const;
   index_t max_rank() const;
 
-  /// Exact bytes held in U/E/B/D matrices plus skeleton index lists.
+  /// Logical payload bytes of U/E/B/D blocks plus skeleton index lists.
   std::size_t memory_bytes() const;
+
+  /// Real device-resident bytes across all arenas (alignment padding
+  /// included) — what the serving cache budgets and eviction frees.
+  std::size_t device_bytes() const;
+
+  /// Backend the arenas live on; null when nothing is allocated yet.
+  std::shared_ptr<backend::DeviceBackend> storage_backend() const;
+
+  /// Execution configuration bound to the arenas' backend (the process
+  /// default if nothing is allocated yet). Contexts applying this matrix
+  /// must share its device heap.
+  backend::ExecutionConfig execution_config() const;
 
   /// Fast O(N) matvec through the U/E/B generators: upward pass along the
   /// transfer tree, one sibling-pair coupling launch per level (B and B^T
@@ -78,7 +98,8 @@ class HssMatrix {
   /// coefficient panels, exactly like h2_matvec.
   void matvec(batched::ExecutionContext& ctx, ConstMatrixView x, MatrixView y) const;
 
-  /// Convenience overload with an internal default-configured context.
+  /// Convenience overload with an internal context bound to the device the
+  /// arenas live on (execution_config()).
   void matvec(ConstMatrixView x, MatrixView y) const;
 
   /// Expanded (non-nested) basis U_tau for one node: cluster_size x rank.

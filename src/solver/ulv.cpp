@@ -34,12 +34,12 @@ void apply_q_right(ConstMatrixView qr, const std::vector<real_t>& tau, MatrixVie
 /// on views so the same routine serves the in-kernel level merge (device
 /// panels) and the host-side root merge (downloaded staging copies).
 void merge_siblings(ConstMatrixView s1, ConstMatrixView u1, index_t r1, ConstMatrixView s2,
-                    ConstMatrixView u2, index_t r2, const Matrix& b, MatrixView dst) {
+                    ConstMatrixView u2, index_t r2, ConstMatrixView b, MatrixView dst) {
   copy(s1, dst.block(0, 0, r1, r1));
   copy(s2, dst.block(r1, r1, r2, r2));
   if (r1 > 0 && r2 > 0) {
     Matrix rb(r1, r2);
-    la::gemm(1.0, u1, la::Op::None, b.view(), la::Op::None, 0.0, rb.view());
+    la::gemm(1.0, u1, la::Op::None, b, la::Op::None, 0.0, rb.view());
     MatrixView off = dst.block(0, r1, r1, r2);
     la::gemm(1.0, rb.view(), la::Op::None, u2, la::Op::Trans, 0.0, off);
     MatrixView off_t = dst.block(r1, 0, r2, r1);
@@ -48,67 +48,75 @@ void merge_siblings(ConstMatrixView s1, ConstMatrixView u1, index_t r1, ConstMat
   }
 }
 
-void merge_siblings(const UlvNode& c1, const UlvNode& c2, const Matrix& b, MatrixView dst) {
-  merge_siblings(c1.dhat.view().block(0, 0, c1.rank, c1.rank), c1.utilde.view(), c1.rank,
-                 c2.dhat.view().block(0, 0, c2.rank, c2.rank), c2.utilde.view(), c2.rank, b, dst);
-}
-
 /// Assemble the node-local diagonal D and merged generator G for one node,
-/// then rotate: qr <- QR(G), utilde <- R, dhat <- Q^T D Q. All outputs are
-/// preallocated; the body runs inside a batched launch.
+/// then rotate: qr <- QR(G), utilde <- R, dhat <- Q^T D Q. The panels are
+/// slots of the factor's per-level device arenas (layout
+/// [qr x nodes][dhat x nodes][utilde x nodes]); the body runs inside a
+/// batched launch, so it may touch device views directly.
 void assemble_and_rotate(const HssMatrix& a, const std::vector<std::vector<UlvNode>>& nodes,
-                         index_t level, index_t i, real_t ridge, UlvNode& nd) {
+                         std::vector<backend::BlockArena>& panels, index_t level, index_t i,
+                         real_t ridge, UlvNode& nd) {
   const index_t leaf = a.leaf_level();
   const auto ul = static_cast<size_t>(level);
   const index_t n = nd.n_loc;
   const index_t r = nd.rank;
+  const index_t nnodes = a.tree->nodes_at(level);
+  backend::BlockArena& pa = panels[ul];
+  MatrixView qr = pa.dev(i);
+  MatrixView dhat = pa.dev(nnodes + i);
 
   // Local diagonal block. The ridge enters the factorization only here, at
   // the leaf diagonals: bumping every leaf block by ridge*I is exactly
   // A + ridge*I, and the Schur complements propagate it upward.
   if (level == leaf) {
-    MatrixView dv = nd.dhat.view();
-    copy(a.leaf_diag[static_cast<size_t>(i)].view(), dv);
+    copy(a.leaf_diag.dev(i), dhat);
     if (ridge != real_t{0})
-      for (index_t k = 0; k < n; ++k) dv(k, k) += ridge;
+      for (index_t k = 0; k < n; ++k) dhat(k, k) += ridge;
   } else {
-    merge_siblings(nodes[ul + 1][static_cast<size_t>(2 * i)],
-                   nodes[ul + 1][static_cast<size_t>(2 * i + 1)],
-                   a.coupling[ul + 1][static_cast<size_t>(i)], nd.dhat.view());
+    const index_t cn = a.tree->nodes_at(level + 1);
+    const backend::BlockArena& cp = panels[ul + 1];
+    const UlvNode& c1 = nodes[ul + 1][static_cast<size_t>(2 * i)];
+    const UlvNode& c2 = nodes[ul + 1][static_cast<size_t>(2 * i + 1)];
+    merge_siblings(cp.dev(cn + 2 * i).block(0, 0, c1.rank, c1.rank), cp.dev(2 * cn + 2 * i),
+                   c1.rank, cp.dev(cn + 2 * i + 1).block(0, 0, c2.rank, c2.rank),
+                   cp.dev(2 * cn + 2 * i + 1), c2.rank, a.coupling[ul + 1].dev(i), dhat);
   }
 
   // Merged generator: U at the leaf, [R_1 E_1; R_2 E_2] above. The root
   // (level 0) never reaches this function.
   if (level == leaf) {
-    copy(a.generators[ul][static_cast<size_t>(i)].view(), nd.qr.view());
+    copy(a.generators[ul].dev(i), qr);
   } else {
+    const index_t cn = a.tree->nodes_at(level + 1);
+    const backend::BlockArena& cp = panels[ul + 1];
     const auto& c1 = nodes[ul + 1][static_cast<size_t>(2 * i)];
     const auto& c2 = nodes[ul + 1][static_cast<size_t>(2 * i + 1)];
-    const Matrix& e = a.generators[ul][static_cast<size_t>(i)];
+    ConstMatrixView e = a.generators[ul].dev(i);
     if (c1.rank > 0 && r > 0)
-      la::gemm(1.0, c1.utilde.view(), la::Op::None, e.view().row_range(0, c1.rank), la::Op::None,
-               0.0, nd.qr.view().row_range(0, c1.rank));
+      la::gemm(1.0, cp.dev(2 * cn + 2 * i), la::Op::None, e.row_range(0, c1.rank), la::Op::None,
+               0.0, qr.row_range(0, c1.rank));
     if (c2.rank > 0 && r > 0)
-      la::gemm(1.0, c2.utilde.view(), la::Op::None, e.view().row_range(c1.rank, c2.rank),
-               la::Op::None, 0.0, nd.qr.view().row_range(c1.rank, c2.rank));
+      la::gemm(1.0, cp.dev(2 * cn + 2 * i + 1), la::Op::None, e.row_range(c1.rank, c2.rank),
+               la::Op::None, 0.0, qr.row_range(c1.rank, c2.rank));
   }
 
   // Rotate: G = Q [R; 0]; Dh = Q^T D Q; R becomes the reduced generator.
-  la::householder_qr(nd.qr.view(), nd.tau);
-  la::apply_q_transpose(nd.qr.view(), nd.tau, nd.dhat.view());
-  apply_q_right(nd.qr.view(), nd.tau, nd.dhat.view());
-  MatrixView ut = nd.utilde.view();
-  ConstMatrixView qv = nd.qr.view();
+  la::householder_qr(qr, nd.tau);
+  la::apply_q_transpose(qr, nd.tau, dhat);
+  apply_q_right(qr, nd.tau, dhat);
+  MatrixView ut = pa.dev(2 * nnodes + i);
   for (index_t jj = 0; jj < r; ++jj)
-    for (index_t ii = 0; ii <= jj && ii < r; ++ii) ut(ii, jj) = qv(ii, jj);
+    for (index_t ii = 0; ii <= jj && ii < r; ++ii) ut(ii, jj) = qr(ii, jj);
 }
 
-/// Largest |diagonal entry| of A, read off the (host-resident) leaf
-/// diagonal blocks: the scale the ridge-retry ladder is relative to.
-real_t max_abs_diag(const HssMatrix& a) {
+/// Largest |diagonal entry| of A, read off the device-resident leaf
+/// diagonal arena in place (inside a kernel scope, so no mirror downloads):
+/// the scale the ridge-retry ladder is relative to.
+real_t max_abs_diag(const HssMatrix& a, backend::DeviceBackend& dev) {
   real_t scale = 0.0;
-  for (const Matrix& d : a.leaf_diag) {
-    ConstMatrixView v = d.view();
+  backend::KernelScope ks(&dev);
+  for (index_t i = 0; i < a.leaf_diag.count(); ++i) {
+    ConstMatrixView v = a.leaf_diag.dev(i);
     const index_t n = std::min(v.rows, v.cols);
     for (index_t k = 0; k < n; ++k) scale = std::max(scale, std::abs(v(k, k)));
   }
@@ -120,6 +128,10 @@ real_t max_abs_diag(const HssMatrix& a) {
 UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx,
                        const UlvOptions& opts) {
   a.validate();
+  if (auto own = a.storage_backend())
+    H2S_CHECK(own->memory_owner() == ctx.device().memory_owner(),
+              "ulv_factor: context device does not own this matrix's device arenas (built on "
+                  << own->name() << ", factored on " << ctx.device().name() << ")");
 
   // One full factorization attempt of A + ridge*I. A lambda local to this
   // friend function, so it can populate UlvCholesky's private panels.
@@ -133,10 +145,12 @@ UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx,
   const index_t levels = a.num_levels();
   const index_t leaf = a.leaf_level();
   f.nodes_.resize(static_cast<size_t>(levels));
+  f.panels_ = std::vector<backend::BlockArena>(static_cast<size_t>(levels));
 
   if (levels == 1) {
-    // Degenerate single-node tree: the HSS matrix is one dense block.
-    f.root_factor_ = to_matrix(a.leaf_diag[0].view());
+    // Degenerate single-node tree: the HSS matrix is one dense block,
+    // factored host-side off the arena's lazy mirror.
+    f.root_factor_ = a.leaf_diag.host(0);
     if (ridge != real_t{0}) {
       MatrixView rv = f.root_factor_.view();
       for (index_t k = 0; k < rv.rows; ++k) rv(k, k) += ridge;
@@ -157,21 +171,26 @@ UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx,
     lvl.resize(static_cast<size_t>(nodes));
 
     // Host-side marshaling: sizes depend only on ranks/cluster sizes, so the
-    // device panels can be preallocated before any launch of this level
-    // runs (the kernels only ever touch them through views).
+    // level's packed panel arena can be laid out and allocated before any
+    // launch of this level runs (the kernels only ever touch it through
+    // views).
+    backend::BlockArena& pa = f.panels_[ul];
+    pa.reset(3 * nodes);
     for (index_t i = 0; i < nodes; ++i) {
       UlvNode& nd = lvl[static_cast<size_t>(i)];
       nd.rank = a.rank(l, i);
       nd.n_loc = l == leaf ? a.tree->size(l, i)
                            : a.rank(l + 1, 2 * i) + a.rank(l + 1, 2 * i + 1);
       H2S_CHECK(nd.rank <= nd.n_loc, "ulv_factor: rank exceeds local dimension");
-      // qr and dhat are fully written by the assemble launch; utilde must
-      // start zeroed (only its upper triangle is written, and merge reads
-      // the full matrix).
-      nd.qr.resize_uninitialized(ctx.device(), nd.n_loc, nd.rank);
-      nd.dhat.resize_uninitialized(ctx.device(), nd.n_loc, nd.n_loc);
-      nd.utilde.resize(ctx.device(), nd.rank, nd.rank);
+      pa.set_shape(i, nd.n_loc, nd.rank);              // qr
+      pa.set_shape(nodes + i, nd.n_loc, nd.n_loc);     // dhat
+      pa.set_shape(2 * nodes + i, nd.rank, nd.rank);   // utilde
     }
+    pa.allocate(ctx.device());
+    // qr and dhat are fully written by the assemble launch; the utilde
+    // panels must start zeroed (only their upper triangles are written, and
+    // merge reads the full matrix) — one fill over the contiguous span.
+    pa.fill_zero(2 * nodes, nodes);
 
     // Launch 1: assemble + QR + two-sided rotation (compress). Reads the
     // children's S/R panels, written by the previous level's launches on the
@@ -184,7 +203,7 @@ UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx,
           return n * n * n + 1;
         },
         [&a, &f, l, ridge, nodes_ptr](index_t i) {
-          assemble_and_rotate(a, f.nodes_, l, i, ridge, nodes_ptr[i]);
+          assemble_and_rotate(a, f.nodes_, f.panels_, l, i, ridge, nodes_ptr[i]);
         });
 
     // Launches 2-4: eliminate the interior blocks — batched potrf on Dh_zz,
@@ -196,14 +215,14 @@ UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx,
     for (index_t i = 0; i < nodes; ++i) {
       UlvNode& nd = lvl[static_cast<size_t>(i)];
       const index_t r = nd.rank, z = nd.nz();
-      dzz.push_back(z > 0 ? nd.dhat.view().block(r, r, z, z) : MatrixView());
-      lz.push_back(z > 0 ? ConstMatrixView(nd.dhat.view().block(r, r, z, z)) : ConstMatrixView());
-      dsz.push_back(r > 0 && z > 0 ? nd.dhat.view().block(0, r, r, z) : MatrixView());
-      wc.push_back(r > 0 && z > 0 ? ConstMatrixView(nd.dhat.view().block(0, r, r, z))
-                                  : ConstMatrixView());
+      MatrixView dh = pa.dev(nodes + i);
+      dzz.push_back(z > 0 ? dh.block(r, r, z, z) : MatrixView());
+      lz.push_back(z > 0 ? ConstMatrixView(dh.block(r, r, z, z)) : ConstMatrixView());
+      dsz.push_back(r > 0 && z > 0 ? dh.block(0, r, r, z) : MatrixView());
+      wc.push_back(r > 0 && z > 0 ? ConstMatrixView(dh.block(0, r, r, z)) : ConstMatrixView());
       // S only changes when there is an interior block to eliminate; an
       // empty entry skips the (beta = 1) no-op launch body.
-      dss.push_back(r > 0 && z > 0 ? nd.dhat.view().block(0, 0, r, r) : MatrixView());
+      dss.push_back(r > 0 && z > 0 ? dh.block(0, 0, r, r) : MatrixView());
     }
     std::vector<ConstMatrixView> wt = wc; // both gemm operands are W
     batched::batched_potrf(ctx, stream, std::move(dzz));
@@ -221,21 +240,28 @@ UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx,
   ctx.sync(stream);
   const UlvNode& c1 = f.nodes_[1][0];
   const UlvNode& c2 = f.nodes_[1][1];
+  const backend::BlockArena& p1 = f.panels_[1]; // 2 nodes: dhat at 2+i, utilde at 4+i
   backend::DeviceBackend& dev = ctx.device();
   Matrix s1(c1.rank, c1.rank), u1(c1.rank, c1.rank);
   Matrix s2(c2.rank, c2.rank), u2(c2.rank, c2.rank);
-  dev.download(c1.dhat.view().block(0, 0, c1.rank, c1.rank), s1.view());
-  dev.download(c1.utilde.view(), u1.view());
-  dev.download(c2.dhat.view().block(0, 0, c2.rank, c2.rank), s2.view());
-  dev.download(c2.utilde.view(), u2.view());
+  dev.download(p1.dev(2).block(0, 0, c1.rank, c1.rank), s1.view());
+  dev.download(p1.dev(4), u1.view());
+  dev.download(p1.dev(3).block(0, 0, c2.rank, c2.rank), s2.view());
+  dev.download(p1.dev(5), u2.view());
   f.root_factor_.resize(c1.rank + c2.rank, c1.rank + c2.rank);
-  merge_siblings(s1.view(), u1.view(), c1.rank, s2.view(), u2.view(), c2.rank, a.coupling[1][0],
-                 f.root_factor_.view());
+  merge_siblings(s1.view(), u1.view(), c1.rank, s2.view(), u2.view(), c2.rank,
+                 a.coupling[1].host(0).view(), f.root_factor_.view());
   la::cholesky(f.root_factor_.view());
+  // Keep the factor device-resident too (uploaded once, here): solve sweeps
+  // read it in place instead of marshaling the root block every solve.
+  f.root_arena_.reset(1);
+  f.root_arena_.set_shape(0, f.root_factor_.rows(), f.root_factor_.cols());
+  f.root_arena_.allocate(dev);
+  f.root_arena_.upload(0, f.root_factor_.view());
   return f;
   };
 
-  const real_t scale0 = max_abs_diag(a);
+  const real_t scale0 = max_abs_diag(a, ctx.device());
   const real_t scale = scale0 > real_t{0} ? scale0 : real_t{1};
   real_t ridge = 0.0;
   for (int attempt = 0;; ++attempt) {
@@ -272,25 +298,24 @@ UlvCholesky ulv_factor(const HssMatrix& a, batched::ExecutionContext& ctx) {
 }
 
 UlvCholesky ulv_factor(const HssMatrix& a) {
-  batched::ExecutionContext ctx(batched::Backend::Batched);
+  batched::ExecutionContext ctx(a.execution_config());
   return ulv_factor(a, ctx);
 }
 
 namespace {
 
-/// Device backend owning the factor's panels, or null for a root-only
+/// Device backend owning the factor's panel arenas, or null for a root-only
 /// factor (which holds no device memory).
-backend::DeviceBackend* panel_backend(const std::vector<std::vector<UlvNode>>& nodes) {
-  for (const auto& lvl : nodes)
-    for (const UlvNode& nd : lvl)
-      if (nd.dhat.backend() != nullptr) return nd.dhat.backend();
+backend::DeviceBackend* panel_backend(const std::vector<backend::BlockArena>& panels) {
+  for (const auto& pa : panels)
+    if (pa.allocated()) return pa.backend();
   return nullptr;
 }
 
 } // namespace
 
 backend::ExecutionConfig UlvCholesky::execution_config() const {
-  if (backend::DeviceBackend* b = panel_backend(nodes_))
+  if (backend::DeviceBackend* b = panel_backend(panels_))
     return {b->shared_from_this(), backend::LaunchMode::Batched};
   return backend::default_backend();
 }
@@ -300,7 +325,7 @@ void UlvCholesky::solve_many(ConstMatrixView b, MatrixView x,
   const index_t n = size();
   const index_t nrhs = b.cols;
   H2S_CHECK(b.rows == n && x.rows == n && x.cols == nrhs, "ulv solve: shape mismatch");
-  backend::DeviceBackend* own = panel_backend(nodes_);
+  backend::DeviceBackend* own = panel_backend(panels_);
   // Compare memory owners, not backend identities: a FaultInjectingDevice
   // shares its inner device's heap, so a factor built under "faulty-cpu"
   // stays solvable through a degraded "cpu" context (and vice versa).
@@ -318,21 +343,40 @@ void UlvCholesky::solve_many(ConstMatrixView b, MatrixView x,
     return;
   }
 
-  // Per-node working panels (local right-hand sides / solutions), alive for
-  // the whole solve. Device-resident: the sweeps read b and write x across
-  // the boundary inside their launches; only the root system round-trips
-  // through explicit copies.
-  std::vector<std::vector<backend::DeviceMatrix>> work(static_cast<size_t>(levels));
+  // One workspace reservation per solve: the marshaled B/X panels, every
+  // node's local right-hand-side/solution panel, and the root block
+  // (prefix-sum single-allocation pattern, like HssMatrix::matvec).
+  // Everything the sweeps touch is device-resident; the host boundary is
+  // crossed exactly twice — the b upload and the x download.
+  backend::DeviceBackend& dev = ctx.device();
+  const index_t root_rows = nodes_[1][0].rank + nodes_[1][1].rank;
+  Workspace& ws = ctx.workspace();
+  ws.reset();
+  {
+    std::size_t total =
+        2 * Workspace::panel_bytes(n, nrhs) + Workspace::panel_bytes(root_rows, nrhs) + 64;
+    for (index_t l = 1; l < levels; ++l)
+      for (index_t i = 0; i < tree_->nodes_at(l); ++i)
+        total +=
+            Workspace::panel_bytes(nodes_[static_cast<size_t>(l)][static_cast<size_t>(i)].n_loc,
+                                   nrhs);
+    ws.reserve_bytes(total);
+  }
+  MatrixView bd = ws.panel(n, nrhs);
+  MatrixView xd = ws.panel(n, nrhs);
+  MatrixView rootw = ws.panel(root_rows, nrhs);
+  std::vector<std::vector<MatrixView>> work(static_cast<size_t>(levels));
   for (index_t l = 1; l < levels; ++l) {
     const index_t cnt = tree_->nodes_at(l);
     work[static_cast<size_t>(l)].resize(static_cast<size_t>(cnt));
     for (index_t i = 0; i < cnt; ++i)
-      work[static_cast<size_t>(l)][static_cast<size_t>(i)].resize(
-          ctx.device(), nodes_[static_cast<size_t>(l)][static_cast<size_t>(i)].n_loc, nrhs);
+      work[static_cast<size_t>(l)][static_cast<size_t>(i)] =
+          ws.panel(nodes_[static_cast<size_t>(l)][static_cast<size_t>(i)].n_loc, nrhs);
   }
-  // Sweep launches reference `work`; drain them before it unwinds if a
-  // launch fault surfaces mid-solve.
+  // Sweep launches reference the workspace panels; drain them before the
+  // arena is reused if a launch fault surfaces mid-solve.
   batched::StreamFence fence(ctx);
+  dev.upload(b, bd);
 
   const auto stream = batched::kSampleStream;
 
@@ -344,6 +388,7 @@ void UlvCholesky::solve_many(ConstMatrixView b, MatrixView x,
     const auto ul = static_cast<size_t>(l);
     auto* lvl_nodes = &nodes_[ul][0];
     auto* lvl_work = &work[ul][0];
+    const backend::BlockArena* lvl_panels = &panels_[ul];
     auto* child_work = l == leaf ? nullptr : &work[ul + 1][0];
     const UlvNode* child_nodes = l == leaf ? nullptr : &nodes_[ul + 1][0];
     ctx.run_batch(
@@ -352,47 +397,51 @@ void UlvCholesky::solve_many(ConstMatrixView b, MatrixView x,
           const index_t m = lvl_nodes[i].n_loc;
           return m * m * nrhs + 1;
         },
-        [this, b, l, leaf, lvl_nodes, lvl_work, child_work, child_nodes, nrhs](index_t i) {
+        [this, bd, l, leaf, cnt, lvl_nodes, lvl_work, lvl_panels, child_work, child_nodes,
+         nrhs](index_t i) {
           const UlvNode& nd = lvl_nodes[i];
-          backend::DeviceMatrix& w = lvl_work[i];
+          MatrixView w = lvl_work[i];
           if (nd.n_loc == 0) return;
           if (l == leaf) {
-            copy(b.block(tree_->begin(l, i), 0, nd.n_loc, nrhs), w.view());
+            copy(bd.block(tree_->begin(l, i), 0, nd.n_loc, nrhs), w);
           } else {
             const UlvNode& c1 = child_nodes[2 * i];
             const UlvNode& c2 = child_nodes[2 * i + 1];
             if (c1.rank > 0)
-              copy(child_work[2 * i].view().row_range(0, c1.rank),
-                   w.view().row_range(0, c1.rank));
+              copy(child_work[2 * i].row_range(0, c1.rank), w.row_range(0, c1.rank));
             if (c2.rank > 0)
-              copy(child_work[2 * i + 1].view().row_range(0, c2.rank),
-                   w.view().row_range(c1.rank, c2.rank));
+              copy(child_work[2 * i + 1].row_range(0, c2.rank),
+                   w.row_range(c1.rank, c2.rank));
           }
-          la::apply_q_transpose(nd.qr.view(), nd.tau, w.view());
+          ConstMatrixView qr = lvl_panels->dev(i);
+          ConstMatrixView dh = lvl_panels->dev(cnt + i);
+          la::apply_q_transpose(qr, nd.tau, w);
           const index_t r = nd.rank, z = nd.nz();
           if (z > 0) {
-            MatrixView wz = w.view().row_range(r, z);
-            la::trsm_lower_left(nd.dhat.view().block(r, r, z, z), la::Op::None, wz);
+            MatrixView wz = w.row_range(r, z);
+            la::trsm_lower_left(dh.block(r, r, z, z), la::Op::None, wz);
             if (r > 0)
-              la::gemm(-1.0, nd.dhat.view().block(0, r, r, z), la::Op::None, wz, la::Op::None,
-                       1.0, w.view().row_range(0, r));
+              la::gemm(-1.0, dh.block(0, r, r, z), la::Op::None, wz, la::Op::None, 1.0,
+                       w.row_range(0, r));
           }
         });
   }
-  ctx.sync(stream);
-
-  // Root system: marshal the reduced right-hand side to the host, solve
-  // against the host-resident root factor, push the solution back.
-  const UlvNode& c1 = nodes_[1][0];
-  const UlvNode& c2 = nodes_[1][1];
-  const index_t r1 = c1.rank, r2 = c2.rank;
-  backend::DeviceBackend& dev = ctx.device();
-  Matrix root_rhs(r1 + r2, nrhs);
-  if (r1 > 0) dev.download(work[1][0].view().row_range(0, r1), root_rhs.view().row_range(0, r1));
-  if (r2 > 0) dev.download(work[1][1].view().row_range(0, r2), root_rhs.view().row_range(r1, r2));
-  la::cholesky_solve(root_factor_.view(), root_rhs.view());
-  if (r1 > 0) dev.upload(root_rhs.view().row_range(0, r1), work[1][0].view().row_range(0, r1));
-  if (r2 > 0) dev.upload(root_rhs.view().row_range(r1, r2), work[1][1].view().row_range(0, r2));
+  // Root system: gather the reduced right-hand side into the root workspace
+  // panel and solve in place against the device-resident root factor — no
+  // host round-trip. One single-item launch keeps the FIFO stream order
+  // (runs after the forward sweep, before the backward one).
+  const index_t r1 = nodes_[1][0].rank, r2 = nodes_[1][1].rank;
+  const MatrixView w10 = work[1][0], w11 = work[1][1];
+  ctx.run_batch(
+      stream, 1,
+      [r1, r2, nrhs](index_t) { return (r1 + r2) * (r1 + r2) * nrhs + 1; },
+      [this, rootw, w10, w11, r1, r2](index_t) {
+        if (r1 > 0) copy(w10.row_range(0, r1), rootw.row_range(0, r1));
+        if (r2 > 0) copy(w11.row_range(0, r2), rootw.row_range(r1, r2));
+        la::cholesky_solve(root_arena_.dev(0), rootw);
+        if (r1 > 0) copy(rootw.row_range(0, r1), w10.row_range(0, r1));
+        if (r2 > 0) copy(rootw.row_range(r1, r2), w11.row_range(0, r2));
+      });
 
   // Backward sweep, top down: recover the interior unknowns, rotate back,
   // scatter to the children (or to x at the leaves).
@@ -401,6 +450,7 @@ void UlvCholesky::solve_many(ConstMatrixView b, MatrixView x,
     const auto ul = static_cast<size_t>(l);
     auto* lvl_nodes = &nodes_[ul][0];
     auto* lvl_work = &work[ul][0];
+    const backend::BlockArena* lvl_panels = &panels_[ul];
     auto* child_work = l == leaf ? nullptr : &work[ul + 1][0];
     const UlvNode* child_nodes = l == leaf ? nullptr : &nodes_[ul + 1][0];
     ctx.run_batch(
@@ -409,34 +459,37 @@ void UlvCholesky::solve_many(ConstMatrixView b, MatrixView x,
           const index_t m = lvl_nodes[i].n_loc;
           return m * m * nrhs + 1;
         },
-        [this, x, l, leaf, lvl_nodes, lvl_work, child_work, child_nodes, nrhs](index_t i) {
+        [this, xd, l, leaf, cnt, lvl_nodes, lvl_work, lvl_panels, child_work, child_nodes,
+         nrhs](index_t i) {
           const UlvNode& nd = lvl_nodes[i];
-          backend::DeviceMatrix& w = lvl_work[i];
+          MatrixView w = lvl_work[i];
           if (nd.n_loc == 0) return;
+          ConstMatrixView qr = lvl_panels->dev(i);
+          ConstMatrixView dh = lvl_panels->dev(cnt + i);
           const index_t r = nd.rank, z = nd.nz();
           if (z > 0) {
-            MatrixView wz = w.view().row_range(r, z);
+            MatrixView wz = w.row_range(r, z);
             if (r > 0)
-              la::gemm(-1.0, nd.dhat.view().block(0, r, r, z), la::Op::Trans,
-                       w.view().row_range(0, r), la::Op::None, 1.0, wz);
-            la::trsm_lower_left(nd.dhat.view().block(r, r, z, z), la::Op::Trans, wz);
+              la::gemm(-1.0, dh.block(0, r, r, z), la::Op::Trans, w.row_range(0, r),
+                       la::Op::None, 1.0, wz);
+            la::trsm_lower_left(dh.block(r, r, z, z), la::Op::Trans, wz);
           }
-          la::apply_q(nd.qr.view(), nd.tau, w.view());
+          la::apply_q(qr, nd.tau, w);
           if (l == leaf) {
-            copy(w.view(), x.block(tree_->begin(l, i), 0, nd.n_loc, nrhs));
+            copy(w, xd.block(tree_->begin(l, i), 0, nd.n_loc, nrhs));
           } else {
             const UlvNode& c1 = child_nodes[2 * i];
             const UlvNode& c2 = child_nodes[2 * i + 1];
             if (c1.rank > 0)
-              copy(w.view().row_range(0, c1.rank),
-                   child_work[2 * i].view().row_range(0, c1.rank));
+              copy(w.row_range(0, c1.rank), child_work[2 * i].row_range(0, c1.rank));
             if (c2.rank > 0)
-              copy(w.view().row_range(c1.rank, c2.rank),
-                   child_work[2 * i + 1].view().row_range(0, c2.rank));
+              copy(w.row_range(c1.rank, c2.rank),
+                   child_work[2 * i + 1].row_range(0, c2.rank));
           }
         });
   }
   ctx.sync(stream);
+  dev.download(xd, x);
 }
 
 void UlvCholesky::solve_many(ConstMatrixView b, MatrixView x) const {
@@ -460,11 +513,15 @@ void UlvCholesky::solve(const_real_span b, real_span x) const {
 
 std::size_t UlvCholesky::memory_bytes() const {
   std::size_t bytes = static_cast<std::size_t>(root_factor_.size()) * sizeof(real_t);
+  for (const auto& pa : panels_) bytes += pa.payload_bytes();
   for (const auto& lvl : nodes_)
-    for (const UlvNode& nd : lvl)
-      bytes += static_cast<std::size_t>(nd.qr.size() + nd.dhat.size() + nd.utilde.size()) *
-                   sizeof(real_t) +
-               nd.tau.size() * sizeof(real_t);
+    for (const UlvNode& nd : lvl) bytes += nd.tau.size() * sizeof(real_t);
+  return bytes;
+}
+
+std::size_t UlvCholesky::device_bytes() const {
+  std::size_t bytes = root_arena_.device_bytes();
+  for (const auto& pa : panels_) bytes += pa.device_bytes();
   return bytes;
 }
 

@@ -3,7 +3,7 @@
 #include <memory>
 #include <vector>
 
-#include "backend/device_matrix.hpp"
+#include "backend/block_arena.hpp"
 #include "batched/device.hpp"
 #include "solver/hss_matrix.hpp"
 
@@ -45,20 +45,16 @@ struct UlvOptions {
   real_t ridge_growth = real_t{100};///< ridge multiplier per subsequent retry
 };
 
-/// Per-node factor panels (see file comment for the roles). The panels are
-/// device-resident — written and read only inside the factor/solve kernel
-/// launches, with the root system marshaled back to the host through
-/// explicit copies; `tau` is small per-node pivot metadata kept host-side.
+/// Per-node factor metadata. The actual panels (qr, dhat, utilde) live
+/// packed in the factor's per-level device arenas (`UlvCholesky::panels_`,
+/// slot layout [qr x nodes][dhat x nodes][utilde x nodes]) — written and
+/// read only inside the factor/solve kernel launches, with the root system
+/// marshaled back to the host through explicit copies; `tau` is small
+/// per-node pivot metadata kept host-side.
 struct UlvNode {
   index_t n_loc = 0; ///< local dimension at elimination time
   index_t rank = 0;  ///< rows surviving to the parent (HSS rank)
-  backend::DeviceMatrix qr; ///< packed Householder QR of the merged generator
-  std::vector<real_t> tau;
-  /// Transformed local diagonal after elimination: the leading rank x rank
-  /// block holds the Schur complement S, the trailing block holds Lz (lower
-  /// triangle), and the rank x (n_loc - rank) strip holds W.
-  backend::DeviceMatrix dhat;
-  backend::DeviceMatrix utilde; ///< reduced generator R passed to the parent (rank x rank)
+  std::vector<real_t> tau; ///< Householder scalars of the qr panel
 
   index_t nz() const { return n_loc - rank; }
 };
@@ -89,6 +85,10 @@ class UlvCholesky {
   /// Factor panel bytes (per-node QR/Dh/R plus the root factor).
   std::size_t memory_bytes() const;
 
+  /// Real device-resident bytes of the factor's panel arenas (alignment
+  /// padding included) — what the serving cache budgets and eviction frees.
+  std::size_t device_bytes() const;
+
   /// A context configuration bound to the device backend that owns the
   /// factor panels (the process default when the factor is root-only).
   /// The convenience solve overloads and pcg use this, so a factor built
@@ -114,7 +114,15 @@ class UlvCholesky {
   /// nodes_[l][i] for levels 1..leaf; levels 0 stays empty (the root system
   /// is root_factor_).
   std::vector<std::vector<UlvNode>> nodes_;
-  Matrix root_factor_; ///< lower Cholesky of the merged root system
+  /// panels_[l]: one packed device arena per level holding every node's
+  /// qr / dhat / utilde panel (slots [qr x nodes][dhat x nodes]
+  /// [utilde x nodes]); level 0 stays empty.
+  std::vector<backend::BlockArena> panels_;
+  /// Single-slot arena: the dense root factor resident on the panels'
+  /// device, uploaded once at factor time so solves never round-trip the
+  /// root block through the host. Empty for root-only factors.
+  backend::BlockArena root_arena_;
+  Matrix root_factor_; ///< lower Cholesky of the merged root system (host copy)
   real_t ridge_ = 0.0; ///< diagonal bump the successful attempt used
 };
 

@@ -103,7 +103,7 @@ TEST_P(SketchBuild, CouplingBlocksAreExactKernelEntries) {
       for (index_t j = 0; j < far.row_count(r); ++j) {
         const index_t e = far.row_ptr[static_cast<size_t>(r)] + j;
         const index_t c = far.col_at(r, j);
-        const Matrix& b = a.coupling[static_cast<size_t>(l)][static_cast<size_t>(e)];
+        const Matrix& b = a.coupling[static_cast<size_t>(l)].host(e);
         const auto& rs = a.skeleton[static_cast<size_t>(l)][static_cast<size_t>(r)];
         const auto& cs = a.skeleton[static_cast<size_t>(l)][static_cast<size_t>(c)];
         for (index_t jj = 0; jj < b.cols(); ++jj)
